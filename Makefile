@@ -1,0 +1,34 @@
+# Standard workflows for the DICE reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench evaluate examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark harness: regenerates every paper table/figure as
+# testing.B benchmarks plus the compression microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The evaluation as readable tables (several minutes).
+evaluate:
+	$(GO) run ./cmd/dicebench -run all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/compressibility
+	$(GO) run ./examples/hybridmemory
+	$(GO) run ./examples/graphanalytics
+
+clean:
+	$(GO) clean ./...

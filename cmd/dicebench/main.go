@@ -1,0 +1,66 @@
+// Command dicebench regenerates the paper's evaluation: every figure and
+// table (Figures 1f, 4, 7, 10-15; Tables 4-8; the CIP accuracy sweep).
+// Results print as aligned text tables with the paper's reference numbers
+// in the notes, so paper-vs-measured comparison is direct.
+//
+// Usage:
+//
+//	dicebench -run all            # everything (several minutes)
+//	dicebench -run fig10          # the headline result
+//	dicebench -run table4,table8  # a comma-separated subset
+//	dicebench -list
+//
+// -refs trades fidelity for speed (default 60000 references per core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dice/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment ids, comma separated, or 'all'")
+		refs    = flag.Int("refs", 60_000, "measured references per core")
+		scale   = flag.Uint("scale", 0, "system scale shift (0 = 10)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "print each simulation as it completes")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	r := experiments.NewRunner(*refs)
+	r.Scale = *scale
+	r.Verbose = *verbose
+	for _, e := range selected {
+		start := time.Now()
+		rep := e.Run(r)
+		fmt.Print(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,154 @@
+// Command dicesim runs one workload on one DRAM-cache configuration and
+// prints the measured statistics: per-core IPC, cache hit rates, DRAM
+// traffic, effective capacity, predictor accuracies, and energy. With
+// -baseline it also runs the uncompressed Alloy configuration and reports
+// the weighted speedup.
+//
+// Usage:
+//
+//	dicesim -workload gcc -policy dice
+//	dicesim -workload pr_twi -policy bai -refs 100000 -baseline
+//	dicesim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dice/internal/dcache"
+	"dice/internal/sim"
+	"dice/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "gcc", "workload name (see -list)")
+		policy    = flag.String("policy", "dice", "cache policy: base|tsi|nsi|bai|dice|scc")
+		org       = flag.String("org", "alloy", "tag organization: alloy|knl")
+		threshold = flag.Int("threshold", 0, "DICE BAI-insertion threshold in bytes (0 = 36)")
+		refs      = flag.Int("refs", 0, "measured references per core (0 = auto)")
+		scale     = flag.Uint("scale", 0, "system scale shift (0 = 10, i.e. 1/1024 of 1GB)")
+		capMult   = flag.Int("cap", 1, "L4 capacity multiplier")
+		bwMult    = flag.Int("bw", 1, "L4 bandwidth (channel) multiplier")
+		halfLat   = flag.Bool("halflat", false, "halve L4 DRAM latencies")
+		prefetch  = flag.String("prefetch", "none", "L3 prefetch: none|nextline|wide128")
+		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
+		list      = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("evaluation set (Table 3):")
+		for _, w := range workloads.All26() {
+			fmt.Printf("  %-10s (%s)\n", w.Name, w.Suite)
+		}
+		fmt.Println("non-memory-intensive set (Fig 13):")
+		for _, w := range workloads.LowMPKI13() {
+			fmt.Printf("  %-10s\n", w.Name)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := sim.Config{
+		RefsPerCore:  *refs,
+		ScaleShift:   *scale,
+		CapacityMult: *capMult,
+		BWMult:       *bwMult,
+		HalfLatency:  *halfLat,
+		Threshold:    *threshold,
+	}
+	switch strings.ToLower(*policy) {
+	case "base":
+		cfg.Policy = dcache.PolicyUncompressed
+	case "tsi":
+		cfg.Policy = dcache.PolicyTSI
+	case "nsi":
+		cfg.Policy = dcache.PolicyNSI
+	case "bai":
+		cfg.Policy = dcache.PolicyBAI
+	case "dice":
+		cfg.Policy = dcache.PolicyDICE
+	case "scc":
+		cfg.Policy = dcache.PolicySCC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+	switch strings.ToLower(*org) {
+	case "alloy":
+		cfg.Org = dcache.OrgAlloy
+	case "knl":
+		cfg.Org = dcache.OrgKNL
+	default:
+		fmt.Fprintf(os.Stderr, "unknown org %q\n", *org)
+		os.Exit(1)
+	}
+	switch strings.ToLower(*prefetch) {
+	case "none":
+	case "nextline":
+		cfg.Prefetch = sim.PrefetchNextLine
+	case "wide128":
+		cfg.Prefetch = sim.PrefetchWide128
+	default:
+		fmt.Fprintf(os.Stderr, "unknown prefetch %q\n", *prefetch)
+		os.Exit(1)
+	}
+
+	res := sim.Run(cfg, w)
+	printResult(res)
+
+	if *baseline {
+		baseCfg := cfg
+		baseCfg.Policy = dcache.PolicyUncompressed
+		baseCfg.Org = dcache.OrgAlloy
+		base := sim.Run(baseCfg, w)
+		fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
+			sim.Speedup(base, res))
+	}
+}
+
+func printResult(r sim.Result) {
+	fmt.Printf("workload %s, policy %v, %d sets scale\n",
+		r.Workload, r.Config.Policy, 1<<24>>r.Config.ScaleShift)
+	fmt.Printf("cycles (measured window): %d\n", r.Cycles)
+	fmt.Printf("per-core IPC:")
+	for _, ipc := range r.IPC {
+		fmt.Printf(" %.3f", ipc)
+	}
+	fmt.Println()
+	fmt.Printf("L3: hits=%d misses=%d hit-rate=%.3f\n", r.L3.Hits, r.L3.Misses, r.L3.HitRate())
+	fmt.Printf("L4: reads=%d hit-rate=%.3f probes=%d second-probes=%d installs=%d evictions=%d\n",
+		r.L4.Reads, r.L4.HitRate(), r.L4.Probes, r.L4.SecondProbes, r.L4.Installs, r.L4.Evictions)
+	fmt.Printf("L4 index installs: invariant=%d bai=%d tsi=%d\n",
+		r.L4.InstallInvariant, r.L4.InstallBAI, r.L4.InstallTSI)
+	fmt.Printf("effective capacity: %.2fx lines/set\n", r.EffCapacity)
+	fmt.Printf("CIP: accuracy=%.3f over %d predictions; MAP-I accuracy=%.3f\n",
+		r.CIPAccuracy, r.CIPPredictions, r.MAPIAccuracy)
+	if r.L4.WritePredictions > 0 {
+		fmt.Printf("write-index predictions: accuracy=%.3f over %d\n",
+			r.L4.WriteAccuracy(), r.L4.WritePredictions)
+	}
+	if r.L4.Installs > 0 {
+		fmt.Printf("installed-line sizes (8B buckets 0..64):")
+		for _, n := range r.L4.InstallSizeBuckets {
+			fmt.Printf(" %.0f%%", 100*float64(n)/float64(r.L4.Installs))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("stacked DRAM: reads=%d writes=%d rowhit=%d rowswitch=%d bytes=%d\n",
+		r.HBM.Reads, r.HBM.Writes, r.HBM.RowHits, r.HBM.RowConflicts,
+		r.HBM.BytesRead+r.HBM.BytesWritten)
+	fmt.Printf("main memory : reads=%d writes=%d bytes=%d queue-stall=%d\n",
+		r.DDR.Reads, r.DDR.Writes, r.DDR.BytesRead+r.DDR.BytesWritten,
+		r.DDR.QueueStallCycles)
+	fmt.Printf("energy: total=%.3g power=%.3g EDP=%.3g\n",
+		r.Energy.Total(), r.Energy.Power(), r.Energy.EDP())
+}

@@ -1,0 +1,122 @@
+// Command dicetrace inspects the workload substrate without running the
+// timing simulator: it reports a workload's access-pattern statistics
+// (spatial adjacency, write fraction, footprint) and its data
+// compressibility under FPC+BDI (the per-workload bars of Figure 4),
+// or dumps the first N requests of the trace.
+//
+// Usage:
+//
+//	dicetrace -workload mcf
+//	dicetrace -workload pr_twi -dump 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dice/internal/compress"
+	"dice/internal/trace"
+	"dice/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc", "workload name")
+		samples  = flag.Int("samples", 4000, "lines sampled for compressibility")
+		dump     = flag.Int("dump", 0, "dump the first N trace requests")
+		scale    = flag.Uint("scale", 10, "system scale shift")
+		save     = flag.String("save", "", "save the first -n requests to a binary trace file")
+		n        = flag.Int("n", 200000, "requests captured with -save")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	insts := w.Build(*scale)
+	in := insts[0]
+
+	fmt.Printf("workload %s (%s), per-core footprint %d lines (%.1f MB at scale 1/%d)\n",
+		w.Name, w.Suite, in.FootprintLines,
+		float64(in.FootprintLines*64)/(1<<20), 1<<*scale)
+	fmt.Printf("L3 MPKI (Table 3): %.1f\n", in.MPKI)
+
+	if *save != "" {
+		reqs := trace.Generate(in.Gen, *n)
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Write(f, reqs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved %d requests to %s\n", len(reqs), *save)
+		return
+	}
+
+	if *dump > 0 {
+		for i := 0; i < *dump; i++ {
+			r, ok := in.Gen.Next()
+			if !ok {
+				break
+			}
+			op := "R"
+			if r.Write {
+				op = "W"
+			}
+			fmt.Printf("  %s line %d (page %d)\n", op, r.Line, r.Line>>6)
+		}
+		return
+	}
+
+	// Access-pattern statistics over a window.
+	const window = 50000
+	var writes, adjacent int
+	var prev uint64
+	for i := 0; i < window; i++ {
+		r, ok := in.Gen.Next()
+		if !ok {
+			break
+		}
+		if r.Write {
+			writes++
+		}
+		if i > 0 && r.Line == prev+1 {
+			adjacent++
+		}
+		prev = r.Line
+	}
+	fmt.Printf("write fraction: %.3f; next-line adjacency: %.3f\n",
+		float64(writes)/window, float64(adjacent)/window)
+
+	// Compressibility (Figure 4 bars).
+	span := in.FootprintLines
+	step := span/uint64(*samples) + 1
+	var le32, le36, sampled, pairs, pair68 int
+	for line := uint64(0); line < span; line += step {
+		sz := compress.CompressedSize(in.Data(line))
+		sampled++
+		if sz <= 32 {
+			le32++
+		}
+		if sz <= 36 {
+			le36++
+		}
+		if line%2 == 0 && line+1 < span {
+			pairs++
+			if compress.PairSize(in.Data(line), in.Data(line+1)) <= 68 {
+				pair68++
+			}
+		}
+	}
+	fmt.Printf("compressibility over %d sampled lines (Fig 4):\n", sampled)
+	fmt.Printf("  single <= 32B: %5.1f%%\n", 100*float64(le32)/float64(sampled))
+	fmt.Printf("  single <= 36B: %5.1f%%\n", 100*float64(le36)/float64(sampled))
+	fmt.Printf("  double <= 68B: %5.1f%%\n", 100*float64(pair68)/float64(pairs))
+}

@@ -1,0 +1,122 @@
+// Compressibility explorer: feed data through the line-compression
+// substrate DICE is built on (FPC, BDI, zero-content, and the hybrid
+// selector) and see how each 64-byte line fares — which algorithm wins,
+// what size it reaches, whether it clears DICE's 36B BAI-insertion
+// threshold, and whether adjacent pairs fit a shared-tag TAD (<=68B).
+//
+// Run with:
+//
+//	go run ./examples/compressibility
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dice/internal/compress"
+)
+
+// sample builds a buffer of several 64B lines with a given character.
+type sample struct {
+	name  string
+	lines [][]byte
+}
+
+func mkLines(n int, fill func(i int, buf []byte)) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, 64)
+		fill(i, out[i])
+	}
+	return out
+}
+
+func samples() []sample {
+	return []sample{
+		{"zero-initialized allocation", mkLines(4, func(i int, b []byte) {})},
+		{"int32 counters (0..99)", mkLines(4, func(i int, b []byte) {
+			for j := 0; j < 16; j++ {
+				binary.LittleEndian.PutUint32(b[j*4:], uint32(i*16+j)%100)
+			}
+		})},
+		{"heap pointers (same arena)", mkLines(4, func(i int, b []byte) {
+			base := uint64(0x7F8A_2C00_0000)
+			for j := 0; j < 8; j++ {
+				binary.LittleEndian.PutUint64(b[j*8:], base+uint64(i*1024+j*48))
+			}
+		})},
+		{"pixel-ish rgba (repeated)", mkLines(4, func(i int, b []byte) {
+			for j := 0; j < 64; j += 4 {
+				copy(b[j:], []byte{0x20, 0x40, 0x80, 0xFF})
+			}
+		})},
+		{"float64 physics state", mkLines(4, func(i int, b []byte) {
+			for j := 0; j < 8; j++ {
+				v := 1.0 + math.Sin(float64(i*8+j))*1e-3
+				binary.LittleEndian.PutUint64(b[j*8:], math.Float64bits(v))
+			}
+		})},
+		{"encrypted / compressed blob", mkLines(4, func(i int, b []byte) {
+			h := uint64(i)*0x9E3779B97F4A7C15 + 7
+			for j := 0; j < 8; j++ {
+				h ^= h << 13
+				h ^= h >> 7
+				h ^= h << 17
+				binary.LittleEndian.PutUint64(b[j*8:], h)
+			}
+		})},
+	}
+}
+
+func main() {
+	fmt.Println("line compression under DICE's algorithms (64B lines)")
+	fmt.Printf("%-30s %6s %6s %8s %6s %9s %9s\n",
+		"data", "fpc", "bdi", "hybrid", "alg", "<=36B?", "pair<=68?")
+	for _, s := range samples() {
+		var fpcSz, bdiSz, hybSz int
+		var alg compress.AlgID
+		for _, line := range s.lines {
+			if enc, ok := (compress.FPC{}).Compress(line); ok {
+				fpcSz += enc.Size()
+			} else {
+				fpcSz += 64
+			}
+			if enc, ok := (compress.BDI{}).Compress(line); ok {
+				bdiSz += enc.Size()
+			} else {
+				bdiSz += 64
+			}
+			enc := compress.CompressBest(line)
+			hybSz += enc.Size()
+			alg = enc.Alg
+		}
+		n := len(s.lines)
+		pair := compress.PairSize(s.lines[0], s.lines[1])
+		fmt.Printf("%-30s %6.1f %6.1f %8.1f %6s %9v %9v\n",
+			s.name,
+			float64(fpcSz)/float64(n), float64(bdiSz)/float64(n),
+			float64(hybSz)/float64(n), alg,
+			hybSz/n <= 36, pair <= 68)
+	}
+
+	fmt.Println("\nwhat the sizes mean for the DRAM cache:")
+	fmt.Println("  <=32B: two singles share a 72B set even with separate tags")
+	fmt.Println("  <=36B: DICE installs the line at its BAI (bandwidth) index;")
+	fmt.Println("         two such adjacent lines fit one set via tag+base sharing")
+	fmt.Println("  > 36B: DICE falls back to TSI so capacity never degrades")
+
+	// Round-trip proof on one line of each kind.
+	fmt.Println("\nround-trip check:")
+	for _, s := range samples() {
+		enc := compress.CompressBest(s.lines[0])
+		dec := compress.Decompress(enc)
+		ok := true
+		for i := range dec {
+			if dec[i] != s.lines[0][i] {
+				ok = false
+			}
+		}
+		fmt.Printf("  %-30s %v (alg %s, %dB)\n", s.name, ok, enc.Alg, enc.Size())
+	}
+}

@@ -1,0 +1,128 @@
+// Full four-level hierarchy, end to end: private L1/L2 and a shared L3
+// built from the cache.Hierarchy component (the paper's Table 2 levels),
+// backed by a DICE-compressed L4 DRAM cache and DDR main memory. This is
+// the complete memory path a reference travels in the paper's system,
+// assembled from the library's public pieces — useful as a template for
+// embedding the DICE cache behind your own frontend.
+//
+// Run with:
+//
+//	go run ./examples/fullhierarchy
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dice/internal/cache"
+	"dice/internal/core"
+	"dice/internal/dram"
+)
+
+// workloadData: database-page-like lines — row ids and field offsets near
+// per-page bases (compressible), with a quarter of pages holding packed
+// blobs (incompressible).
+type workloadData struct{}
+
+func (workloadData) Line(line uint64) []byte {
+	buf := make([]byte, 64)
+	page := line >> 6
+	if page%4 == 1 {
+		h := line*0xA24BAED4963EE407 + 3
+		for i := 0; i < 8; i++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			binary.LittleEndian.PutUint64(buf[i*8:], h)
+		}
+		return buf
+	}
+	base := uint32(0x2000_0000) + uint32(page)<<12
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(buf[i*4:], base+uint32(line%64)*64+uint32(i*28))
+	}
+	return buf
+}
+
+func main() {
+	// Table 2 shapes, scaled 1/64 so the demo runs in a blink:
+	// L1 32KB/8w, L2 256KB/8w, shared L3 8MB/16w -> here 512B/4KB/128KB.
+	hier := cache.NewHierarchy(
+		cache.Config{SizeBytes: 512, Ways: 8, LineBytes: 64, HitLatency: 4},
+		cache.Config{SizeBytes: 4 << 10, Ways: 8, LineBytes: 64, HitLatency: 12},
+		cache.Config{SizeBytes: 128 << 10, Ways: 16, LineBytes: 64, HitLatency: 30},
+	)
+	// L4: 1GB/64 = 256K sets -> here 4096 sets (288KB), DICE design.
+	l4 := core.New(core.Config{Sets: 1 << 12, Design: core.DICE, Data: workloadData{}})
+	ddr := dram.New(dram.DDRConfig())
+
+	// 384KB working set: overflows every SRAM level and exceeds the L4,
+	// so all four levels and main memory stay exercised.
+	const footprint = 6 << 10
+	now := uint64(0)
+	var l4Extras int
+
+	// A scan-plus-lookup workload: sequential sweeps (table scans) mixed
+	// with pointer lookups into a hot index region.
+	var x uint64 = 88172645463325252
+	rnd := func() uint64 { x ^= x << 13; x ^= x >> 7; x ^= x << 17; return x }
+	next := func(i int) uint64 {
+		if i%3 == 0 {
+			return rnd() % (footprint / 8) // hot index
+		}
+		return uint64(i) % footprint // scan
+	}
+
+	for i := 0; i < 200_000; i++ {
+		line := next(i)
+		write := i%11 == 0
+		r := hier.Access(line, write)
+		for _, wb := range r.Writebacks {
+			l4.Writeback(now, wb)
+		}
+		if r.HitLevel >= 0 {
+			now += uint64(r.Latency)
+			continue
+		}
+		// Full SRAM miss: go to the DRAM cache.
+		lr := l4.Read(now+uint64(r.Latency), line)
+		dataAt := lr.Done
+		if !lr.Hit {
+			dataAt = ddr.AccessAddr(lr.Done, line<<6, false, 64)
+			inst := l4.Install(dataAt, line, false)
+			for _, v := range inst.Victims {
+				if v.Dirty {
+					ddr.AccessAddr(inst.Done, v.Line<<6, true, 64)
+				}
+			}
+		}
+		// Fill the SRAM levels with the demand line and any free
+		// adjacent lines the compressed access delivered.
+		for _, wb := range hier.Fill(line, write) {
+			l4.Writeback(dataAt, wb)
+		}
+		for _, extra := range lr.Extra {
+			l4Extras++
+			for _, wb := range hier.Fill(extra, false) {
+				l4.Writeback(dataAt, wb)
+			}
+		}
+		now = dataAt
+	}
+
+	fmt.Println("four-level hierarchy with a DICE L4 (200k references)")
+	fmt.Println("per-level hit rates:")
+	names := []string{"L1 (private)", "L2 (private)", "L3 (shared)"}
+	for i := 0; i < hier.Levels(); i++ {
+		st := hier.Level(i).Stats()
+		fmt.Printf("  %-13s %6.1f%%  (%d lookups)\n",
+			names[i], 100*st.HitRate(), st.Hits+st.Misses)
+	}
+	l4s := l4.Stats()
+	fmt.Printf("  %-13s %6.1f%%  (%d lookups)\n", "L4 (DICE)", 100*l4s.HitRate(), l4s.Reads)
+	fmt.Printf("\nDICE delivered %d free adjacent lines into the SRAM levels\n", l4Extras)
+	fmt.Printf("effective L4 capacity: %.2fx; CIP accuracy: %.1f%%\n",
+		l4.EffectiveCapacity(), 100*l4.CIPAccuracy())
+	d := ddr.Stats()
+	fmt.Printf("main-memory traffic: %d reads, %d writebacks\n", d.Reads, d.Writes)
+}

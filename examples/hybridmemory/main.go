@@ -1,0 +1,113 @@
+// Hybrid-memory sweep: the motivating scenario of the paper's
+// introduction. A heterogeneous memory system pairs a small
+// high-bandwidth stacked-DRAM cache with large, slow DDR. This example
+// sweeps the working-set size from "fits easily" to "three times the
+// cache" and shows how the uncompressed Alloy baseline and DICE behave
+// across the range: compression for capacity delays the fall off the
+// cliff, and compression for bandwidth keeps paying even when everything
+// fits (the paper's core argument for compressing for both).
+//
+// Run with:
+//
+//	go run ./examples/hybridmemory
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dice/internal/core"
+	"dice/internal/dram"
+)
+
+// recordData is moderately compressible record data: 8-byte fields near
+// per-page bases (BDI b8d2, 24B/line), with every fourth page high
+// entropy.
+type recordData struct{}
+
+func (recordData) Line(line uint64) []byte {
+	buf := make([]byte, 64)
+	page := line >> 6
+	if page%4 == 3 {
+		h := line*0xD6E8FEB86659FD93 + 99
+		for i := 0; i < 8; i++ {
+			h ^= h << 13
+			h ^= h >> 7
+			h ^= h << 17
+			binary.LittleEndian.PutUint64(buf[i*8:], h)
+		}
+		return buf
+	}
+	base := (page*0x9E3779B97F4A7C15)&0xFFFF_FFFF_0000 + 0x4000_0000_0000
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:], base+uint64(line%64)*512+uint64(i*40))
+	}
+	return buf
+}
+
+const sets = 1 << 12
+
+// ddrPenalty approximates a main-memory fetch behind the cache for this
+// single-level demo: a DDR access is the same latency but an eighth the
+// bandwidth of the stacked device.
+const ddrPenalty = 160
+
+// sweep runs a mixed sequential/strided scan of the working set through
+// one design and returns average cycles per reference.
+func sweep(design core.Design, wsLines uint64) float64 {
+	ddr := dram.New(dram.DDRConfig())
+	cache := core.New(core.Config{Sets: sets, Design: design, Data: recordData{}})
+	now := uint64(0)
+	refs := 0
+	// Two passes: warm, then measure.
+	for pass := 0; pass < 2; pass++ {
+		start := now
+		n := 0
+		pos := uint64(0)
+		for i := uint64(0); i < 3*wsLines; i++ {
+			// Mixed pattern: mostly sequential with periodic strides.
+			if i%7 == 6 {
+				pos += 64
+			} else {
+				pos++
+			}
+			line := pos % wsLines
+			r := cache.Read(now, line)
+			if r.Hit {
+				now = r.Done
+			} else {
+				fetched := ddr.AccessAddr(r.Done, line<<6, false, 64)
+				if fetched < r.Done+ddrPenalty {
+					fetched = r.Done + ddrPenalty
+				}
+				res := cache.Install(fetched, line, false)
+				now = res.Done
+			}
+			n++
+		}
+		if pass == 1 {
+			return float64(now-start) / float64(n)
+		}
+		refs += n
+	}
+	return 0
+}
+
+func main() {
+	fmt.Println("hybrid memory sweep: working set vs a fixed stacked-DRAM cache")
+	fmt.Printf("cache: %d sets (%dKB); record-like data, ~75%% compressible\n\n", sets, sets*72/1024)
+	fmt.Printf("%-12s %14s %14s %10s\n", "working set", "Alloy cyc/ref", "DICE cyc/ref", "speedup")
+	for _, frac := range []float64{0.5, 0.9, 1.2, 1.5, 1.8, 2.4, 3.0} {
+		ws := uint64(frac * sets)
+		alloy := sweep(core.Alloy, ws)
+		dice := sweep(core.DICE, ws)
+		fmt.Printf("%9.1fx %14.1f %14.1f %9.2fx\n", frac, alloy, dice, alloy/dice)
+	}
+	fmt.Println("\nreading the sweep:")
+	fmt.Println("  <1.0x  both designs hit everything and track each other; with a")
+	fmt.Println("         single requester there is no bandwidth pressure to relieve")
+	fmt.Println("         (the 8-core runs in examples/graphanalytics show that side)")
+	fmt.Println("  1-2x   Alloy falls off the capacity cliff; DICE's compressed")
+	fmt.Println("         sets keep the working set resident (capacity + bandwidth)")
+	fmt.Println("  >2x    both miss more; DICE still holds a compressed-capacity edge")
+}

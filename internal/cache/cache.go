@@ -1,0 +1,194 @@
+// Package cache implements a set-associative write-back SRAM cache model
+// with true-LRU replacement. The simulator uses it for the shared L3 (the
+// level whose hit rate DICE's neighbor-line installs improve, Table 6) and
+// for the private L1/L2 levels in the full-hierarchy example. The model
+// tracks tags, validity and dirty state; data bytes are owned by the
+// simulator's deterministic data sources, so the cache itself stays
+// compact even at large geometries.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size (64 throughout the paper)
+	// HitLatency is the access latency in CPU cycles charged on a hit.
+	HitLatency int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache: geometry must be positive: %+v", c)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*line %d",
+			c.SizeBytes, c.Ways*c.LineBytes)
+	case c.HitLatency < 0:
+		return fmt.Errorf("cache: negative hit latency")
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Installs   uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// HitRate returns hits / (hits + misses).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative cache indexed by 64-byte line address.
+type Cache struct {
+	cfg   Config
+	sets  [][]way
+	nsets uint64
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache. It panics on invalid configuration (configurations
+// are static experiment inputs).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	c := &Cache{cfg: cfg, nsets: uint64(nsets), sets: make([][]way, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.nsets) }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics; contents are preserved.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) set(line uint64) []way { return c.sets[line%c.nsets] }
+
+// Lookup probes for a line, updating LRU on a hit. When write is true a
+// hit marks the line dirty (write-back policy).
+func (c *Cache) Lookup(line uint64, write bool) bool {
+	c.tick++
+	ws := c.set(line)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == line {
+			ws[i].used = c.tick
+			if write {
+				ws[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports residency without touching LRU or statistics.
+func (c *Cache) Contains(line uint64) bool {
+	for _, w := range c.set(line) {
+		if w.valid && w.tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Install.
+type Victim struct {
+	Line  uint64
+	Dirty bool
+}
+
+// Install fills a line (write-allocate), evicting the LRU way if the set
+// is full. It returns the victim, if any. Installing a line that is
+// already resident refreshes its LRU state and ORs in dirty.
+func (c *Cache) Install(line uint64, dirty bool) (Victim, bool) {
+	c.tick++
+	c.stats.Installs++
+	ws := c.set(line)
+	// Already resident (can happen when a prefetch races a demand fill).
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == line {
+			ws[i].used = c.tick
+			ws[i].dirty = ws[i].dirty || dirty
+			return Victim{}, false
+		}
+	}
+	// Free way.
+	for i := range ws {
+		if !ws[i].valid {
+			ws[i] = way{tag: line, valid: true, dirty: dirty, used: c.tick}
+			return Victim{}, false
+		}
+	}
+	// Evict LRU.
+	lru := 0
+	for i := 1; i < len(ws); i++ {
+		if ws[i].used < ws[lru].used {
+			lru = i
+		}
+	}
+	v := Victim{Line: ws[lru].tag, Dirty: ws[lru].dirty}
+	c.stats.Evictions++
+	if v.Dirty {
+		c.stats.Writebacks++
+	}
+	ws[lru] = way{tag: line, valid: true, dirty: dirty, used: c.tick}
+	return v, true
+}
+
+// Invalidate removes a line if present, returning whether it was dirty.
+func (c *Cache) Invalidate(line uint64) (dirty, present bool) {
+	ws := c.set(line)
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == line {
+			dirty = ws[i].dirty
+			ws[i] = way{}
+			return dirty, true
+		}
+	}
+	return false, false
+}
+
+// OccupiedLines returns the number of valid lines (for capacity reports).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for _, ws := range c.sets {
+		for _, w := range ws {
+			if w.valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package cache
+
+import "fmt"
+
+// Hierarchy composes several cache levels (e.g. the paper's L1/L2/L3,
+// Table 2) with inclusive write-back semantics: a hit at level k fills
+// every level above it, a miss is filled into all levels by Fill, upper-
+// level dirty victims write back into the level below, and dirty victims
+// of the last level are returned to the caller for the memory system
+// (the L4 DRAM cache, in the full system).
+type Hierarchy struct {
+	levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from outermost-first configurations
+// (L1 first). At least one level is required.
+func NewHierarchy(cfgs ...Config) *Hierarchy {
+	if len(cfgs) == 0 {
+		panic("cache: hierarchy needs at least one level")
+	}
+	h := &Hierarchy{}
+	for _, cfg := range cfgs {
+		h.levels = append(h.levels, New(cfg))
+	}
+	return h
+}
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Level returns level i (0 = L1) for statistics inspection.
+func (h *Hierarchy) Level(i int) *Cache { return h.levels[i] }
+
+// AccessResult reports one hierarchy access.
+type AccessResult struct {
+	// HitLevel is the 0-based level that hit, or -1 on a full miss.
+	HitLevel int
+	// Latency is the accumulated lookup latency of the levels probed
+	// (plus nothing more on a miss — the caller adds memory time).
+	Latency int
+	// Writebacks lists dirty lines pushed out of the LAST level by the
+	// fills this access performed; the caller owns them.
+	Writebacks []uint64
+}
+
+// Access looks line up level by level. On a hit the line is filled into
+// every level above the hit (inclusive hierarchy); on a full miss the
+// caller must fetch the data and call Fill.
+func (h *Hierarchy) Access(line uint64, write bool) AccessResult {
+	res := AccessResult{HitLevel: -1}
+	for i, c := range h.levels {
+		res.Latency += c.Config().HitLatency
+		if c.Lookup(line, write) {
+			res.HitLevel = i
+			// Fill the levels above the hit.
+			res.Writebacks = append(res.Writebacks, h.fillLevels(0, i, line, write)...)
+			return res
+		}
+	}
+	return res
+}
+
+// Fill installs a fetched line into every level (after a full miss).
+// Dirty victims of the last level are returned for the memory system.
+func (h *Hierarchy) Fill(line uint64, write bool) []uint64 {
+	return h.fillLevels(0, len(h.levels), line, write)
+}
+
+// fillLevels installs line into levels [from, to), cascading victims
+// downward. Dirty victims of the last level are returned.
+func (h *Hierarchy) fillLevels(from, to int, line uint64, dirty bool) []uint64 {
+	var out []uint64
+	for i := from; i < to; i++ {
+		v, evicted := h.levels[i].Install(line, dirty && i == 0)
+		if !evicted || !v.Dirty {
+			continue
+		}
+		// Dirty victim: write back into the next level down, or hand it
+		// to the caller from the last level.
+		if i+1 < len(h.levels) {
+			if h.levels[i+1].Lookup(v.Line, true) {
+				continue
+			}
+			// Inclusive hierarchies keep lower levels a superset, but a
+			// shared lower level under multiple upper caches can have
+			// evicted the line; reinstall it dirty.
+			out = append(out, h.installDirty(i+1, v.Line)...)
+		} else {
+			out = append(out, v.Line)
+		}
+	}
+	return out
+}
+
+// installDirty reinstalls a written-back line into level i, cascading.
+func (h *Hierarchy) installDirty(i int, line uint64) []uint64 {
+	v, evicted := h.levels[i].Install(line, true)
+	if !evicted || !v.Dirty {
+		return nil
+	}
+	if i+1 < len(h.levels) {
+		if h.levels[i+1].Lookup(v.Line, true) {
+			return nil
+		}
+		return h.installDirty(i+1, v.Line)
+	}
+	return []uint64{v.Line}
+}
+
+// String summarizes per-level hit rates.
+func (h *Hierarchy) String() string {
+	s := ""
+	for i, c := range h.levels {
+		st := c.Stats()
+		s += fmt.Sprintf("L%d: %.1f%% of %d  ", i+1, 100*st.HitRate(), st.Hits+st.Misses)
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// table2Hierarchy builds a scaled-down L1/L2/L3 stack in the shape of the
+// paper's Table 2 (32KB/256KB/1MB-per-core, here 1/8 scale for test
+// speed).
+func table2Hierarchy() *Hierarchy {
+	return NewHierarchy(
+		Config{SizeBytes: 4 << 10, Ways: 8, LineBytes: 64, HitLatency: 4},
+		Config{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, HitLatency: 12},
+		Config{SizeBytes: 128 << 10, Ways: 16, LineBytes: 64, HitLatency: 30},
+	)
+}
+
+func TestHierarchyMissThenHitAtL1(t *testing.T) {
+	h := table2Hierarchy()
+	r := h.Access(100, false)
+	if r.HitLevel != -1 {
+		t.Fatal("cold access must miss all levels")
+	}
+	if r.Latency != 4+12+30 {
+		t.Fatalf("miss latency = %d, want full probe chain", r.Latency)
+	}
+	h.Fill(100, false)
+	r2 := h.Access(100, false)
+	if r2.HitLevel != 0 || r2.Latency != 4 {
+		t.Fatalf("expected L1 hit at 4 cycles, got %+v", r2)
+	}
+}
+
+func TestHierarchyInclusiveFillOnLowerHit(t *testing.T) {
+	h := table2Hierarchy()
+	h.Fill(7, false)
+	// Push line 7 out of L1 only: fill conflicting lines.
+	l1Sets := uint64(h.Level(0).Sets())
+	for i := uint64(1); i <= 8; i++ {
+		h.Fill(7+i*l1Sets, false)
+	}
+	if h.Level(0).Contains(7) {
+		t.Fatal("line should have left L1")
+	}
+	r := h.Access(7, false)
+	if r.HitLevel != 1 {
+		t.Fatalf("expected L2 hit, got level %d", r.HitLevel)
+	}
+	if !h.Level(0).Contains(7) {
+		t.Fatal("L2 hit must refill L1")
+	}
+}
+
+func TestHierarchyDirtyWritebackCascades(t *testing.T) {
+	h := NewHierarchy(
+		Config{SizeBytes: 2 * 64, Ways: 1, LineBytes: 64, HitLatency: 1},
+		Config{SizeBytes: 4 * 64, Ways: 1, LineBytes: 64, HitLatency: 2},
+	)
+	// Write line 0, then conflict it out of both tiny levels.
+	h.Fill(0, true)
+	var out []uint64
+	for i := uint64(1); i < 9; i++ {
+		out = append(out, h.Fill(i*2, false)...) // same L1 set as 0 (2 sets)
+	}
+	found := false
+	for _, l := range out {
+		if l == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dirty line 0 never surfaced from the last level: %v", out)
+	}
+}
+
+func TestHierarchyLevelsAndString(t *testing.T) {
+	h := table2Hierarchy()
+	if h.Levels() != 3 {
+		t.Fatal("levels")
+	}
+	h.Access(1, false)
+	if s := h.String(); s == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestHierarchyNeedsLevels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty hierarchy accepted")
+		}
+	}()
+	NewHierarchy()
+}
+
+func TestHierarchyFiltering(t *testing.T) {
+	// A realistic reuse-heavy stream should be filtered strongly by L1/L2,
+	// leaving the L3 with the misses — the structure the simulator's
+	// L3-level traces assume.
+	h := table2Hierarchy()
+	rng := rand.New(rand.NewPCG(3, 4))
+	hot := make([]uint64, 48)
+	for i := range hot {
+		hot[i] = uint64(rng.UintN(1 << 16))
+	}
+	for i := 0; i < 30000; i++ {
+		var line uint64
+		if rng.UintN(10) < 8 {
+			line = hot[rng.IntN(len(hot))]
+		} else {
+			line = uint64(rng.UintN(1 << 16))
+		}
+		if r := h.Access(line, rng.UintN(5) == 0); r.HitLevel == -1 {
+			h.Fill(line, false)
+		}
+	}
+	l1 := h.Level(0).Stats()
+	l3 := h.Level(2).Stats()
+	if l1.HitRate() < 0.5 {
+		t.Fatalf("L1 hit rate = %.2f, hot set should mostly hit", l1.HitRate())
+	}
+	if l3.Hits+l3.Misses >= l1.Hits+l1.Misses {
+		t.Fatal("upper levels must filter traffic before L3")
+	}
+}

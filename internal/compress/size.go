@@ -1,0 +1,57 @@
+package compress
+
+// Single-algorithm sizing, used by the compression-algorithm ablation:
+// DICE is orthogonal to the compression scheme (Section 7.1), and these
+// helpers let the cache run with FPC alone or BDI alone instead of the
+// hybrid selector.
+
+// SizeWith returns the compressed size of a line under one algorithm
+// family: AlgFPC (FPC + zero lines), AlgBDI (BDI + zero lines), or
+// anything else for the full hybrid.
+func SizeWith(alg AlgID, line []byte) int {
+	mustLine(line)
+	if isZero(line) {
+		return 0
+	}
+	switch alg {
+	case AlgFPC:
+		if enc, ok := (FPC{}).Compress(line); ok {
+			return enc.Size()
+		}
+		return LineSize
+	case AlgBDI:
+		if enc, ok := (BDI{}).Compress(line); ok {
+			return enc.Size()
+		}
+		return LineSize
+	default:
+		return CompressedSize(line)
+	}
+}
+
+// PairSizeWith returns the adjacent-pair size under one algorithm
+// family. Base sharing applies only to BDI-encoded pairs; FPC pairs
+// still share the tag (a set-format property) but not data bytes.
+func PairSizeWith(alg AlgID, a, b []byte) int {
+	switch alg {
+	case AlgFPC:
+		return SizeWith(AlgFPC, a) + SizeWith(AlgFPC, b)
+	case AlgBDI:
+		mustLine(a)
+		mustLine(b)
+		encA, okA := (BDI{}).Compress(a)
+		sa, sb := SizeWith(AlgBDI, a), SizeWith(AlgBDI, b)
+		if okA && encA.Mode != BDIRep {
+			k, _ := bdiGeometry(encA.Mode)
+			base := int64(readUint(encA.Payload[:k], k))
+			if payload, ok := bdiTryModeWithBase(b, encA.Mode, base); ok {
+				if shared := sa + len(payload); shared < sa+sb {
+					return shared
+				}
+			}
+		}
+		return sa + sb
+	default:
+		return PairSize(a, b)
+	}
+}

@@ -1,0 +1,90 @@
+package compress
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeWithZeroLine(t *testing.T) {
+	zero := make([]byte, LineSize)
+	for _, alg := range []AlgID{AlgFPC, AlgBDI, AlgNone} {
+		if SizeWith(alg, zero) != 0 {
+			t.Fatalf("%v: zero line must be free", alg)
+		}
+	}
+}
+
+func TestSizeWithAlgorithmRestriction(t *testing.T) {
+	// Pointer-like data: BDI compresses it, FPC cannot.
+	ptr := lineFromQwords(0x7FFE00112200, 0x7FFE00112208, 0x7FFE00112240)
+	if s := SizeWith(AlgBDI, ptr); s >= LineSize {
+		t.Fatalf("BDI should compress pointers, got %d", s)
+	}
+	if f, b := SizeWith(AlgFPC, ptr), SizeWith(AlgBDI, ptr); f <= b {
+		t.Fatalf("BDI (%d) should beat FPC (%d) on pointers", b, f)
+	}
+	// Small ints: FPC excels.
+	small := lineFromWords(1, 2, 3)
+	if s := SizeWith(AlgFPC, small); s >= 30 {
+		t.Fatalf("FPC should crush small ints, got %d", s)
+	}
+}
+
+func TestSizeWithHybridIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 52))
+	for i := 0; i < 200; i++ {
+		var line []byte
+		if i%2 == 0 {
+			line = randomLine(rng)
+		} else {
+			base := rng.Uint64() >> 20
+			line = lineFromQwords(base, base+uint64(rng.UintN(500)))
+		}
+		h := SizeWith(AlgNone, line) // hybrid
+		if f := SizeWith(AlgFPC, line); f < h {
+			t.Fatalf("hybrid (%d) must be <= FPC-only (%d)", h, f)
+		}
+		if b := SizeWith(AlgBDI, line); b < h {
+			t.Fatalf("hybrid (%d) must be <= BDI-only (%d)", h, b)
+		}
+	}
+}
+
+func TestPairSizeWithBaseSharingOnlyForBDI(t *testing.T) {
+	a := lineFromQwords(1<<50, 1<<50+4)
+	b := lineFromQwords(1<<50+100, 1<<50+104)
+	sa, sb := SizeWith(AlgBDI, a), SizeWith(AlgBDI, b)
+	pair := PairSizeWith(AlgBDI, a, b)
+	if pair >= sa+sb {
+		t.Fatalf("BDI pair (%d) should save base bytes over %d", pair, sa+sb)
+	}
+	// FPC pair is just the sum.
+	fa := lineFromWords(1, 2)
+	fb := lineFromWords(3, 4)
+	if PairSizeWith(AlgFPC, fa, fb) != SizeWith(AlgFPC, fa)+SizeWith(AlgFPC, fb) {
+		t.Fatal("FPC pair must be the plain sum")
+	}
+}
+
+// Property: single-algorithm pair sizes are bounded by the sum of their
+// singles and by 128 bytes.
+func TestQuickPairSizeWithBounds(t *testing.T) {
+	f := func(seed uint64, alg uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		mk := func() []byte {
+			if rng.UintN(2) == 0 {
+				return randomLine(rng)
+			}
+			base := rng.Uint64() >> 24
+			return lineFromQwords(base, base+uint64(rng.UintN(90)))
+		}
+		a, b := mk(), mk()
+		id := []AlgID{AlgFPC, AlgBDI, AlgNone}[alg%3]
+		p := PairSizeWith(id, a, b)
+		return p <= SizeWith(id, a)+SizeWith(id, b) && p <= 2*LineSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

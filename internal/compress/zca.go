@@ -1,0 +1,27 @@
+package compress
+
+// ZCA implements zero-content augmentation (Dusser et al., ICS 2009): an
+// all-zero line is represented with no payload at all. The hybrid selector
+// checks for zero lines first, so ZCA exists mostly as a standalone
+// Compressor for analysis tools and tests.
+type ZCA struct{}
+
+// Name implements Compressor.
+func (ZCA) Name() string { return "zca" }
+
+// Compress implements Compressor: only all-zero lines compress.
+func (ZCA) Compress(line []byte) (Encoding, bool) {
+	mustLine(line)
+	if !isZero(line) {
+		return Encoding{}, false
+	}
+	return Encoding{Alg: AlgZCA}, true
+}
+
+// Decompress implements Compressor.
+func (ZCA) Decompress(enc Encoding) []byte {
+	if enc.Alg != AlgZCA {
+		panic("compress: ZCA.Decompress on " + enc.Alg.String())
+	}
+	return make([]byte, LineSize)
+}

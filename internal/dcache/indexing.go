@@ -1,0 +1,79 @@
+// Package dcache implements the paper's DRAM cache family: the baseline
+// uncompressed Alloy Cache, compressed caches under Traditional Set
+// Indexing (TSI), Naive Spatial Indexing (NSI) and Bandwidth-Aware
+// Indexing (BAI), the dynamic DICE design with its Cache Index Predictor
+// (CIP), the Knights-Landing-style organization (tags in ECC bits), and a
+// Skewed-Compressed-Cache (SCC) comparison point. Timing is charged
+// against a dram.Memory device; set contents are modeled with the
+// flexible tag-and-data format of Figure 5.
+package dcache
+
+import "fmt"
+
+// Scheme selects how a line address maps to a cache set.
+type Scheme uint8
+
+// Indexing schemes (Figure 6).
+const (
+	TSI Scheme = iota // consecutive lines -> consecutive sets
+	NSI               // consecutive line pairs -> one set, naive
+	BAI               // pairs share a set, half the lines stay at TSI
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case TSI:
+		return "TSI"
+	case NSI:
+		return "NSI"
+	case BAI:
+		return "BAI"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// Index computes the set for a line address under scheme s in a cache of
+// nsets sets. nsets must be even (it is a power of two in practice).
+//
+// TSI: set = line mod S — consecutive lines land in consecutive sets.
+//
+// NSI: set = (line/2) mod S — the pair (2i, 2i+1) shares set (i mod S).
+// Nearly every line moves relative to TSI (Figure 6b), which is what makes
+// switching costly.
+//
+// BAI: the pair (2i, 2i+1) shares a set, chosen to be the TSI set of one
+// of the two members, alternating each time the pair index wraps the
+// cache (Figure 6c):
+//
+//	set = (2i mod S) + ((2i / S) mod 2)
+//
+// Consequences, proved in the tests: exactly half of all lines keep their
+// TSI set ("invariant" lines), and for the other half the BAI set is the
+// TSI set ± 1 — the neighboring set, guaranteed to share a DRAM row with
+// the TSI location.
+func Index(s Scheme, line uint64, nsets int) uint64 {
+	n := uint64(nsets)
+	switch s {
+	case TSI:
+		return line % n
+	case NSI:
+		return (line / 2) % n
+	case BAI:
+		even := line &^ 1
+		return even%n + (even/n)%2
+	default:
+		panic("dcache: unknown scheme " + s.String())
+	}
+}
+
+// Invariant reports whether a line has the same set under TSI and BAI, in
+// which case no insertion decision or index prediction is needed.
+func Invariant(line uint64, nsets int) bool {
+	return Index(TSI, line, nsets) == Index(BAI, line, nsets)
+}
+
+// Buddy returns the spatially adjacent line that BAI maps into the same
+// set: lines 2i and 2i+1 are buddies.
+func Buddy(line uint64) uint64 { return line ^ 1 }

@@ -1,0 +1,132 @@
+package dcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+const testSets = 1 << 10
+
+func TestIndexTSI(t *testing.T) {
+	for line := uint64(0); line < 4*testSets; line++ {
+		if got := Index(TSI, line, testSets); got != line%testSets {
+			t.Fatalf("TSI(%d) = %d", line, got)
+		}
+	}
+}
+
+func TestIndexNSIPairsShareSets(t *testing.T) {
+	for line := uint64(0); line < 4*testSets; line += 2 {
+		a := Index(NSI, line, testSets)
+		b := Index(NSI, line+1, testSets)
+		if a != b {
+			t.Fatalf("NSI pair (%d,%d) split: %d vs %d", line, line+1, a, b)
+		}
+	}
+}
+
+func TestIndexBAIFigure6(t *testing.T) {
+	// Figure 6(c): 8 sets, lines A0-A15.
+	want := map[uint64]uint64{
+		0: 0, 1: 0, 2: 2, 3: 2, 4: 4, 5: 4, 6: 6, 7: 6,
+		8: 1, 9: 1, 10: 3, 11: 3, 12: 5, 13: 5, 14: 7, 15: 7,
+	}
+	for line, set := range want {
+		if got := Index(BAI, line, 8); got != set {
+			t.Fatalf("BAI(A%d) = %d, want %d", line, got, set)
+		}
+	}
+}
+
+func TestBAIPairsShareSets(t *testing.T) {
+	for line := uint64(0); line < 8*testSets; line += 2 {
+		a := Index(BAI, line, testSets)
+		b := Index(BAI, line+1, testSets)
+		if a != b {
+			t.Fatalf("BAI pair (%d,%d) split: %d vs %d", line, line+1, a, b)
+		}
+	}
+}
+
+func TestBAIHalfInvariant(t *testing.T) {
+	// Exactly half of all lines must keep their TSI set (Section 4.5).
+	n := uint64(16 * testSets)
+	invariant := 0
+	for line := uint64(0); line < n; line++ {
+		if Invariant(line, testSets) {
+			invariant++
+		}
+	}
+	if invariant*2 != int(n) {
+		t.Fatalf("invariant lines = %d of %d, want exactly half", invariant, n)
+	}
+}
+
+func TestBAINeighborProperty(t *testing.T) {
+	// For non-invariant lines, the BAI set is the TSI set +/- 1, so both
+	// candidate locations share a DRAM row.
+	for line := uint64(0); line < 16*testSets; line++ {
+		tsi := Index(TSI, line, testSets)
+		bai := Index(BAI, line, testSets)
+		d := int64(bai) - int64(tsi)
+		if d < -1 || d > 1 {
+			t.Fatalf("line %d: BAI %d not a neighbor of TSI %d", line, bai, tsi)
+		}
+	}
+}
+
+func TestBAIInBounds(t *testing.T) {
+	f := func(line uint64, setsPow uint8) bool {
+		n := 1 << (1 + setsPow%16) // 2..65536 sets
+		for _, s := range []Scheme{TSI, NSI, BAI} {
+			if Index(s, line, n) >= uint64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: buddies always share a BAI set and a NSI set, and Buddy is an
+// involution.
+func TestQuickBuddyProperties(t *testing.T) {
+	f := func(line uint64) bool {
+		if Buddy(Buddy(line)) != line {
+			return false
+		}
+		return Index(BAI, line, testSets) == Index(BAI, Buddy(line), testSets) &&
+			Index(NSI, line, testSets) == Index(NSI, Buddy(line), testSets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within any window of 2*nsets consecutive lines, BAI uses every
+// set exactly twice (no capacity loss from the remapping).
+func TestBAIUniformCoverage(t *testing.T) {
+	counts := make(map[uint64]int)
+	for line := uint64(0); line < 2*testSets; line++ {
+		counts[Index(BAI, line, testSets)]++
+	}
+	if len(counts) != testSets {
+		t.Fatalf("BAI used %d distinct sets, want %d", len(counts), testSets)
+	}
+	for set, n := range counts {
+		if n != 2 {
+			t.Fatalf("set %d used %d times, want 2", set, n)
+		}
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if TSI.String() != "TSI" || NSI.String() != "NSI" || BAI.String() != "BAI" {
+		t.Fatal("scheme names wrong")
+	}
+	if Scheme(9).String() != "Scheme(9)" {
+		t.Fatal("unknown scheme name wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package dcache
+
+// MAPI is the Memory Access Predictor the baseline Alloy Cache is
+// equipped with (Qureshi & Loh, MICRO 2012): it predicts whether an L4
+// access will hit, so that on a predicted miss the main-memory fetch can
+// start in parallel with the cache probe instead of after it. The
+// original predictor is instruction-based (MAP-I); our traces carry no
+// program counters, so we key the table by page (the MAP-G variant from
+// the same paper), which tracks the same hit/miss regionality.
+type MAPI struct {
+	counters []uint8 // 3-bit saturating, >=4 predicts hit
+	mask     uint64
+
+	predictions uint64
+	correct     uint64
+}
+
+// NewMAPI builds a predictor with n 3-bit counters (n a power of two).
+// Counters start at the hit-predicting threshold so an empty predictor
+// does not flood main memory with useless parallel fetches.
+func NewMAPI(n int) *MAPI {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("dcache: MAPI entries must be a positive power of two")
+	}
+	m := &MAPI{counters: make([]uint8, n), mask: uint64(n - 1)}
+	for i := range m.counters {
+		m.counters[i] = 4
+	}
+	return m
+}
+
+func (m *MAPI) slot(line uint64) uint64 {
+	return (pageOf(line) * 0x9E3779B97F4A7C15) >> 33 & m.mask
+}
+
+// PredictHit returns true when the access is expected to hit the L4.
+func (m *MAPI) PredictHit(line uint64) bool {
+	return m.counters[m.slot(line)] >= 4
+}
+
+// Update trains the predictor with the actual outcome and scores the
+// prediction that was made for this access.
+func (m *MAPI) Update(line uint64, predictedHit, actualHit bool) {
+	m.predictions++
+	if predictedHit == actualHit {
+		m.correct++
+	}
+	s := m.slot(line)
+	if actualHit {
+		if m.counters[s] < 7 {
+			m.counters[s]++
+		}
+	} else {
+		if m.counters[s] > 0 {
+			m.counters[s]--
+		}
+	}
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m *MAPI) Accuracy() float64 {
+	if m.predictions == 0 {
+		return 0
+	}
+	return float64(m.correct) / float64(m.predictions)
+}

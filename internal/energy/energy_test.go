@@ -1,0 +1,64 @@
+package energy
+
+import (
+	"testing"
+
+	"dice/internal/dram"
+)
+
+func TestDeviceEnergyMonotone(t *testing.T) {
+	c := HBMCoefficients()
+	small := dram.Stats{Reads: 10, RowMisses: 5, BytesRead: 800}
+	big := dram.Stats{Reads: 100, RowMisses: 50, BytesRead: 8000}
+	if DeviceEnergy(c, small, 1000) >= DeviceEnergy(c, big, 1000) {
+		t.Fatal("more events must cost more energy")
+	}
+	if DeviceEnergy(c, small, 1000) >= DeviceEnergy(c, small, 100000) {
+		t.Fatal("longer runs must cost more background energy")
+	}
+}
+
+func TestDDRBytesCostMoreThanHBM(t *testing.T) {
+	s := dram.Stats{Reads: 1, BytesRead: 6400}
+	hbm := DeviceEnergy(HBMCoefficients(), s, 0)
+	ddr := DeviceEnergy(DDRCoefficients(), s, 0)
+	if ddr <= hbm {
+		t.Fatal("off-chip transfers must cost more than on-package")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	hbm := dram.Stats{Reads: 100, RowMisses: 20, BytesRead: 8000}
+	ddr := dram.Stats{Reads: 10, RowMisses: 5, BytesRead: 640}
+	b := Compute(hbm, ddr, 10000)
+	if b.Total() != b.HBMEnergy+b.DDREnergy {
+		t.Fatal("total mismatch")
+	}
+	if b.Power() <= 0 {
+		t.Fatal("power must be positive")
+	}
+	if b.EDP() != b.Total()*10000 {
+		t.Fatal("EDP mismatch")
+	}
+	var zero Breakdown
+	if zero.Power() != 0 {
+		t.Fatal("zero-cycle power must be 0")
+	}
+}
+
+func TestFewerEventsLowerEDP(t *testing.T) {
+	// A configuration that both reduces accesses and finishes earlier
+	// (what DICE does) must strictly reduce energy and EDP.
+	baseHBM := dram.Stats{Reads: 1000, Writes: 300, RowMisses: 600, BytesRead: 80000, BytesWritten: 24000}
+	baseDDR := dram.Stats{Reads: 500, Writes: 150, RowMisses: 400, BytesRead: 32000, BytesWritten: 9600}
+	diceHBM := dram.Stats{Reads: 700, Writes: 250, RowMisses: 400, BytesRead: 56000, BytesWritten: 20000}
+	diceDDR := dram.Stats{Reads: 300, Writes: 100, RowMisses: 250, BytesRead: 19200, BytesWritten: 6400}
+	base := Compute(baseHBM, baseDDR, 100000)
+	dice := Compute(diceHBM, diceDDR, 80000)
+	if dice.Total() >= base.Total() {
+		t.Fatal("fewer events must reduce energy")
+	}
+	if dice.EDP() >= base.EDP() {
+		t.Fatal("EDP must drop with fewer events and shorter runtime")
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dice/internal/sim"
+	"dice/internal/workloads"
+)
+
+// Ablation experiments: studies of the design choices DESIGN.md calls
+// out, beyond the paper's own tables. They are registered alongside the
+// paper experiments so dicebench and the benchmark harness can run them.
+
+// ablationWorkloads is a representative slice covering the behavior
+// classes: capacity-bound compressible (soplex), bandwidth-bound
+// compressible (gcc), incompressible streaming (libq, lbm), pointer
+// chasing (mcf), and one graph kernel (cc_twi). Full runs are available
+// through the paper experiments; ablations trade coverage for speed.
+func ablationWorkloads() []workloads.Workload {
+	names := []string{"mcf", "lbm", "soplex", "gcc", "libq", "cc_twi"}
+	out := make([]workloads.Workload, 0, len(names))
+	for _, n := range names {
+		w, err := workloads.ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// AblationIndexing compares the three spatial-indexing choices the paper
+// walks through in Section 4.5: naive spatial indexing (NSI, nearly every
+// line moves), bandwidth-aware indexing (BAI, half the lines invariant),
+// and DICE's dynamic selection. NSI's cost shows up both in thrashing
+// (like BAI) and in having no cheap fallback.
+func AblationIndexing(r *Runner) *Report {
+	rep := &Report{ID: "ablate-index", Title: "Indexing ablation: NSI vs BAI vs DICE",
+		Columns: []string{"NSI", "BAI", "DICE"}}
+	for _, w := range ablationWorkloads() {
+		rep.AddRow(w.Name, w.Suite,
+			r.Speedup("nsi", w),
+			r.Speedup("bai", w),
+			r.Speedup("dice", w))
+	}
+	rep.GroupGeoMeans()
+	rep.Notes = append(rep.Notes,
+		"paper Sec 4.5: NSI degrades incompressible workloads by as much as 63%")
+	return rep
+}
+
+// AblationCompressor re-runs DICE with FPC alone and BDI alone instead of
+// the hybrid selector (Section 7.1 argues DICE is orthogonal to the
+// compression algorithm; the hybrid should win but not by much on
+// integer-heavy data where both algorithms overlap).
+func AblationCompressor(r *Runner) *Report {
+	rep := &Report{ID: "ablate-compress", Title: "Compression-algorithm ablation under DICE",
+		Columns: []string{"FPC-only", "BDI-only", "Hybrid"}}
+	fpc := func(cfg *sim.Config) { cfg.Policy = r.config("dice").Policy; cfg.CompressAlg = "fpc" }
+	bdi := func(cfg *sim.Config) { cfg.Policy = r.config("dice").Policy; cfg.CompressAlg = "bdi" }
+	var fs, bs, hs []float64
+	for _, w := range ablationWorkloads() {
+		f := r.ablateOne("dice-fpc", w, fpc)
+		bd := r.ablateOne("dice-bdi", w, bdi)
+		h := r.Speedup("dice", w)
+		rep.AddRow(w.Name, w.Suite, f, bd, h)
+		fs, bs, hs = append(fs, f), append(bs, bd), append(hs, h)
+	}
+	rep.Rows = append(rep.Rows, Row{Name: "GMEAN", Values: map[string]float64{
+		"FPC-only": geoMean(fs), "BDI-only": geoMean(bs), "Hybrid": geoMean(hs),
+	}})
+	rep.Notes = append(rep.Notes,
+		"paper Sec 7.1: DICE works with any low-latency compressor; hybrid is best")
+	return rep
+}
+
+// ablateOne runs one mutated configuration on one workload.
+func (r *Runner) ablateOne(key string, w workloads.Workload, mutate func(*sim.Config)) float64 {
+	cacheKey := key + "|" + w.Name
+	res, ok := r.cache[cacheKey]
+	if !ok {
+		cfg := r.config("base")
+		mutate(&cfg)
+		res = runSim(cfg, w)
+		r.cache[cacheKey] = res
+	}
+	return sim.Speedup(r.Run("base", w), res)
+}
+
+// AblationMLP sweeps the per-core memory-level-parallelism window, the
+// main free parameter of the core model (DESIGN.md decision 4). DICE's
+// advantage should persist across the sweep — it relieves bandwidth, not
+// latency, so more outstanding misses do not substitute for it.
+func AblationMLP(r *Runner) *Report {
+	rep := &Report{ID: "ablate-mlp", Title: "Core MLP-window sensitivity of DICE's speedup",
+		Columns: []string{"MLP=2", "MLP=6", "MLP=16"}}
+	windows := []int{2, 6, 16}
+	sums := make([][]float64, len(windows))
+	for _, w := range ablationWorkloads() {
+		vals := make([]float64, len(windows))
+		for i, win := range windows {
+			win := win
+			baseKey := fmt.Sprintf("base-mlp%d", win)
+			diceKey := fmt.Sprintf("dice-mlp%d", win)
+			base, ok := r.cache[baseKey+"|"+w.Name]
+			if !ok {
+				cfg := r.config("base")
+				cfg.MLPWindow = win
+				base = runSim(cfg, w)
+				r.cache[baseKey+"|"+w.Name] = base
+			}
+			dice, ok := r.cache[diceKey+"|"+w.Name]
+			if !ok {
+				cfg := r.config("dice")
+				cfg.MLPWindow = win
+				dice = runSim(cfg, w)
+				r.cache[diceKey+"|"+w.Name] = dice
+			}
+			vals[i] = sim.Speedup(base, dice)
+			sums[i] = append(sums[i], vals[i])
+		}
+		rep.AddRow(w.Name, w.Suite, vals...)
+	}
+	gm := make(map[string]float64, len(windows))
+	for i, win := range windows {
+		gm[fmt.Sprintf("MLP=%d", win)] = geoMean(sums[i])
+	}
+	rep.Rows = append(rep.Rows, Row{Name: "GMEAN", Values: gm})
+	rep.Notes = append(rep.Notes,
+		"DICE's benefit is bandwidth-side, so it should survive deeper MLP windows")
+	return rep
+}

@@ -1,0 +1,257 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figures 1f, 4, 7, 10-15; Tables 4-8; the CIP accuracy sweep
+// of Section 5.3). Each experiment is a named driver producing a Report;
+// a shared Runner memoizes simulation results so the baseline runs that
+// many experiments normalize against are executed once.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dice/internal/dcache"
+	"dice/internal/sim"
+	"dice/internal/stats"
+	"dice/internal/workloads"
+)
+
+// Runner executes and memoizes simulations.
+type Runner struct {
+	// RefsPerCore overrides the measured reference count (0 = auto).
+	// Tests use small values; the CLI uses larger ones.
+	RefsPerCore int
+	// Scale is the system scale shift (0 = default 10, i.e. 1/1024).
+	Scale uint
+	// Verbose prints progress lines as runs complete.
+	Verbose bool
+
+	cache map[string]sim.Result
+}
+
+// NewRunner returns a Runner with the given per-core reference budget.
+func NewRunner(refsPerCore int) *Runner {
+	return &Runner{RefsPerCore: refsPerCore, cache: make(map[string]sim.Result)}
+}
+
+// named configurations used across experiments.
+func (r *Runner) config(name string) sim.Config {
+	cfg := sim.Config{RefsPerCore: r.RefsPerCore, ScaleShift: r.Scale}
+	switch name {
+	case "base":
+		cfg.Policy = dcache.PolicyUncompressed
+	case "tsi":
+		cfg.Policy = dcache.PolicyTSI
+	case "nsi":
+		cfg.Policy = dcache.PolicyNSI
+	case "bai":
+		cfg.Policy = dcache.PolicyBAI
+	case "dice":
+		cfg.Policy = dcache.PolicyDICE
+	case "scc":
+		cfg.Policy = dcache.PolicySCC
+	case "dice-knl":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.Org = dcache.OrgKNL
+	case "dice-t32":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.Threshold = 32
+	case "dice-t40":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.Threshold = 40
+	case "base-2cap":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.CapacityMult = 2
+	case "base-2bw":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.BWMult = 2
+	case "base-2both":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.CapacityMult = 2
+		cfg.BWMult = 2
+	case "base-half":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.HalfLatency = true
+	case "dice-2cap":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.CapacityMult = 2
+	case "dice-2bw":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.BWMult = 2
+	case "dice-half":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.HalfLatency = true
+	case "base-128pf":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.Prefetch = sim.PrefetchWide128
+	case "base-nlpf":
+		cfg.Policy = dcache.PolicyUncompressed
+		cfg.Prefetch = sim.PrefetchNextLine
+	case "dice-nlpf":
+		cfg.Policy = dcache.PolicyDICE
+		cfg.Prefetch = sim.PrefetchNextLine
+	default:
+		panic("experiments: unknown config " + name)
+	}
+	return cfg
+}
+
+// Run executes (or recalls) one workload under a named configuration.
+func (r *Runner) Run(cfgName string, w workloads.Workload) sim.Result {
+	key := cfgName + "|" + w.Name
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	res := sim.Run(r.config(cfgName), w)
+	r.cache[key] = res
+	if r.Verbose {
+		fmt.Printf("  ran %-12s %-10s L4hit=%.2f L3hit=%.2f\n",
+			cfgName, w.Name, res.L4.HitRate(), res.L3.HitRate())
+	}
+	return res
+}
+
+// Speedup returns the weighted speedup of cfgName over the uncompressed
+// baseline for workload w.
+func (r *Runner) Speedup(cfgName string, w workloads.Workload) float64 {
+	return sim.Speedup(r.Run("base", w), r.Run(cfgName, w))
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string // value columns, in print order
+	Rows    []Row
+	// Notes carries the paper-vs-measured commentary.
+	Notes []string
+}
+
+// Row is one labeled result line.
+type Row struct {
+	Name   string
+	Suite  workloads.Suite
+	Values map[string]float64
+}
+
+// Get returns a row value (0 when missing).
+func (row Row) Get(col string) float64 { return row.Values[col] }
+
+// AddRow appends a row built from parallel column values.
+func (rep *Report) AddRow(name string, suite workloads.Suite, vals ...float64) {
+	row := Row{Name: name, Suite: suite, Values: map[string]float64{}}
+	for i, v := range vals {
+		if i < len(rep.Columns) {
+			row.Values[rep.Columns[i]] = v
+		}
+	}
+	rep.Rows = append(rep.Rows, row)
+}
+
+// GroupGeoMeans appends the paper's aggregation rows — RATE, MIX, GAP and
+// ALL26 geometric means — computed over the existing rows.
+func (rep *Report) GroupGeoMeans() {
+	groups := []struct {
+		label string
+		match func(Row) bool
+	}{
+		{"RATE", func(r Row) bool { return r.Suite == workloads.SuiteRate }},
+		{"MIX", func(r Row) bool { return r.Suite == workloads.SuiteMix }},
+		{"GAP", func(r Row) bool { return r.Suite == workloads.SuiteGAP }},
+		{"ALL26", func(r Row) bool { return r.Suite != "" }},
+	}
+	base := make([]Row, len(rep.Rows))
+	copy(base, rep.Rows)
+	for _, g := range groups {
+		vals := map[string]float64{}
+		for _, col := range rep.Columns {
+			var xs []float64
+			for _, row := range base {
+				if g.match(row) {
+					xs = append(xs, row.Get(col))
+				}
+			}
+			if len(xs) > 0 {
+				vals[col] = stats.GeoMean(xs)
+			}
+		}
+		if len(vals) > 0 {
+			rep.Rows = append(rep.Rows, Row{Name: g.label, Values: vals})
+		}
+	}
+}
+
+// String renders the report as an aligned text table.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", rep.ID, rep.Title)
+	nameW := 10
+	for _, row := range rep.Rows {
+		if len(row.Name) > nameW {
+			nameW = len(row.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameW+2, "workload")
+	for _, c := range rep.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&b, "%-*s", nameW+2, row.Name)
+		for _, c := range rep.Columns {
+			fmt.Fprintf(&b, "%12.3f", row.Get(c))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range rep.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one regenerable table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Runner) *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Potential from doubling capacity/bandwidth (Fig 1f)", Fig01Potential},
+		{"fig4", "Fraction of compressible lines (Fig 4)", Fig04Compressibility},
+		{"fig7", "Static indexing: TSI vs BAI (Fig 7)", Fig07StaticIndexing},
+		{"fig10", "DICE speedup (Fig 10)", Fig10DICE},
+		{"fig11", "Distribution of BAI/TSI indices (Fig 11)", Fig11IndexDistribution},
+		{"fig12", "DICE on Knights Landing organization (Fig 12)", Fig12KNL},
+		{"fig13", "Non-memory-intensive workloads (Fig 13)", Fig13NonIntensive},
+		{"fig14", "Power/Energy/EDP (Fig 14)", Fig14Energy},
+		{"fig15", "Skewed Compressed Cache on DRAM (Fig 15)", Fig15SCC},
+		{"table4", "Sensitivity to DICE threshold (Table 4)", Table04Threshold},
+		{"table5", "Effective capacity (Table 5)", Table05Capacity},
+		{"table6", "Effect of DICE on L3 hit rate (Table 6)", Table06L3HitRate},
+		{"table7", "Comparison to prefetch (Table 7)", Table07Prefetch},
+		{"table8", "Sensitivity to capacity/BW/latency (Table 8)", Table08Sensitivity},
+		{"cip", "CIP accuracy vs LTT size (Sec 5.3)", CIPAccuracy},
+		{"ablate-index", "Ablation: NSI vs BAI vs DICE indexing", AblationIndexing},
+		{"ablate-compress", "Ablation: FPC-only vs BDI-only vs hybrid", AblationCompressor},
+		{"ablate-mlp", "Ablation: core MLP-window sensitivity", AblationMLP},
+	}
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)",
+		id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"math"
+
+	"dice/internal/sim"
+	"dice/internal/workloads"
+)
+
+// runSim executes a raw sim.Config (used when an experiment needs a
+// configuration outside the named set, e.g. the CIP size sweep).
+func runSim(cfg sim.Config, w workloads.Workload) sim.Result {
+	return sim.Run(cfg, w)
+}
+
+func geoMean(xs []float64) float64 {
+	var logSum float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// groupSets returns the paper's aggregation groups over the evaluation
+// set: SPEC RATE, SPEC MIX, GAP, and the combined 26.
+func groupSets() []struct {
+	Label string
+	WLs   []workloads.Workload
+} {
+	return []struct {
+		Label string
+		WLs   []workloads.Workload
+	}{
+		{"SPEC RATE", workloads.Rate16()},
+		{"SPEC MIX", workloads.Mixes()},
+		{"GAP", workloads.GAP6()},
+		{"GMEAN26", workloads.All26()},
+	}
+}
+
+// Table04Threshold regenerates Table 4: DICE speedup with the BAI
+// insertion threshold at 32B, 36B and 40B, by suite group. Paper: 36B is
+// best (+19.0% overall); 32B and 40B lose 1-2%.
+func Table04Threshold(r *Runner) *Report {
+	rep := &Report{ID: "table4", Title: "Sensitivity to DICE insertion threshold",
+		Columns: []string{"<=32B", "<=36B", "<=40B"}}
+	for _, g := range groupSets() {
+		var s32, s36, s40 []float64
+		for _, w := range g.WLs {
+			s32 = append(s32, r.Speedup("dice-t32", w))
+			s36 = append(s36, r.Speedup("dice", w))
+			s40 = append(s40, r.Speedup("dice-t40", w))
+		}
+		rep.AddRow(g.Label, "", geoMean(s32), geoMean(s36), geoMean(s40))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper Table 4: 36B maximizes performance (+19.0% GMEAN26)")
+	return rep
+}
+
+// Table05Capacity regenerates Table 5: effective DRAM-cache capacity of
+// TSI, BAI and DICE relative to the baseline's occupancy. Paper: TSI
+// 1.24x, BAI 1.69x, DICE 1.62x overall; GAP up to 5.57x under BAI.
+func Table05Capacity(r *Runner) *Report {
+	rep := &Report{ID: "table5", Title: "Effective capacity of TSI/BAI/DICE",
+		Columns: []string{"TSI", "BAI", "DICE"}}
+	for _, g := range groupSets() {
+		var ct, cb, cd []float64
+		for _, w := range g.WLs {
+			base := r.Run("base", w).EffCapacity
+			if base == 0 {
+				continue
+			}
+			ct = append(ct, r.Run("tsi", w).EffCapacity/base)
+			cb = append(cb, r.Run("bai", w).EffCapacity/base)
+			cd = append(cd, r.Run("dice", w).EffCapacity/base)
+		}
+		rep.AddRow(g.Label, "", geoMean(ct), geoMean(cb), geoMean(cd))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper Table 5: TSI 1.24x, BAI 1.69x, DICE 1.62x (GMEAN26); GAP highest")
+	return rep
+}
+
+// Table06L3HitRate regenerates Table 6: shared-L3 hit rate without and
+// with DICE (whose free adjacent lines are installed in L3). Paper:
+// 37.0% -> 43.6% average.
+func Table06L3HitRate(r *Runner) *Report {
+	rep := &Report{ID: "table6", Title: "Effect of DICE on L3 hit rate",
+		Columns: []string{"BASE", "DICE"}}
+	for _, g := range groupSets() {
+		var hb, hd []float64
+		for _, w := range g.WLs {
+			hb = append(hb, r.Run("base", w).L3.HitRate())
+			hd = append(hd, r.Run("dice", w).L3.HitRate())
+		}
+		rep.AddRow(g.Label, "", mean(hb), mean(hd))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper Table 6: average L3 hit rate 37.0% baseline vs 43.6% with DICE")
+	return rep
+}
+
+// Table07Prefetch regenerates Table 7: wider L3 fetch and next-line
+// prefetching vs DICE, and DICE combined with next-line prefetch.
+// Paper: 128B-PF +1.9%, NL-PF +1.6%, DICE +19.0%, DICE+NL +20.9%.
+func Table07Prefetch(r *Runner) *Report {
+	rep := &Report{ID: "table7", Title: "Comparison of DICE to prefetch",
+		Columns: []string{"128B-PF", "Nextline-PF", "DICE", "DICE+NL"}}
+	for _, g := range groupSets() {
+		var p128, pnl, pd, pdnl []float64
+		for _, w := range g.WLs {
+			p128 = append(p128, r.Speedup("base-128pf", w))
+			pnl = append(pnl, r.Speedup("base-nlpf", w))
+			pd = append(pd, r.Speedup("dice", w))
+			pdnl = append(pdnl, r.Speedup("dice-nlpf", w))
+		}
+		rep.AddRow(g.Label, "", geoMean(p128), geoMean(pnl), geoMean(pd), geoMean(pdnl))
+	}
+	rep.Notes = append(rep.Notes,
+		"paper Table 7: prefetch alone ~+2%; DICE +19.0%; DICE+NL +20.9%")
+	return rep
+}
+
+// Table08Sensitivity regenerates Table 8: DICE's speedup over the
+// matching uncompressed design as the cache's capacity, bandwidth and
+// latency change. Paper: base +19.0%, 2x capacity +13.2%, 2x BW +24.5%,
+// half latency +24.4%.
+func Table08Sensitivity(r *Runner) *Report {
+	rep := &Report{ID: "table8", Title: "DICE sensitivity to cache capacity/BW/latency",
+		Columns: []string{"Base(1GB)", "2xCap", "2xBW", "50%Lat"}}
+	pairs := [][2]string{
+		{"base", "dice"},
+		{"base-2cap", "dice-2cap"},
+		{"base-2bw", "dice-2bw"},
+		{"base-half", "dice-half"},
+	}
+	for _, g := range groupSets() {
+		vals := make([]float64, len(pairs))
+		for i, p := range pairs {
+			var xs []float64
+			for _, w := range g.WLs {
+				xs = append(xs, sim.Speedup(r.Run(p[0], w), r.Run(p[1], w)))
+			}
+			vals[i] = geoMean(xs)
+		}
+		rep.AddRow(g.Label, "", vals...)
+	}
+	rep.Notes = append(rep.Notes,
+		"paper Table 8: +19.0% / +13.2% / +24.5% / +24.4% (GMEAN26); each column normalized to its own uncompressed design")
+	return rep
+}

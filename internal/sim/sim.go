@@ -1,0 +1,555 @@
+// Package sim assembles the full system of Table 2 and executes
+// workloads on it: eight cores (modeled at the memory system's level of
+// detail — an issue-rate gap between references plus a memory-level-
+// parallelism window), a shared L3, the L4 DRAM cache in any of the
+// paper's configurations, and DDR main memory, with a MAP-I hit/miss
+// predictor coordinating parallel main-memory fetches, first-touch
+// virtual-to-physical page allocation, optional L3 prefetching (Table 7),
+// and the idealized capacity/bandwidth/latency knobs the paper sweeps
+// (Figure 1f, Table 8).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dice/internal/cache"
+	"dice/internal/compress"
+	"dice/internal/dcache"
+	"dice/internal/dram"
+	"dice/internal/energy"
+	"dice/internal/workloads"
+)
+
+// PrefetchMode selects the L3 fetch-width comparison of Table 7.
+type PrefetchMode uint8
+
+// Prefetch modes.
+const (
+	PrefetchNone PrefetchMode = iota
+	// PrefetchNextLine issues a prefetch of line+1 after each L3 demand
+	// miss ("Nextline-PF").
+	PrefetchNextLine
+	// PrefetchWide128 fetches both halves of the 128B-aligned pair on
+	// each L3 demand miss ("128B-PF": two separate 64B requests).
+	PrefetchWide128
+)
+
+// Config selects one system configuration.
+type Config struct {
+	// Policy, Org, Threshold and CIPEntries configure the L4 (see dcache).
+	Policy     dcache.Policy
+	Org        dcache.Org
+	Threshold  int
+	CIPEntries int
+
+	// ScaleShift scales the whole system to 1/2^shift of the paper's
+	// sizes (cache capacity and workload footprints together), keeping
+	// the footprint:capacity and bandwidth:capacity ratios intact.
+	// Default 10 (1GB -> 1MB).
+	ScaleShift uint
+
+	// CapacityMult (1 or 2) doubles L4 sets; BWMult (1 or 2) doubles L4
+	// channels; HalfLatency halves L4 DRAM timing — the idealized knobs
+	// of Figure 1(f) and Table 8.
+	CapacityMult int
+	BWMult       int
+	HalfLatency  bool
+
+	Prefetch PrefetchMode
+
+	// CompressAlg restricts the cache's compression algorithm for the
+	// ablation of Section 7.1: "fpc", "bdi", or "" for the default
+	// hybrid FPC+BDI.
+	CompressAlg string
+
+	// MLPWindow is the per-core outstanding-reference window (models
+	// out-of-order memory-level parallelism). Default 6.
+	MLPWindow int
+	// RefsPerCore is the measured reference count per core; 0 sizes it
+	// from the workload footprint.
+	RefsPerCore int
+	// WarmupFrac is the fraction of additional references run before
+	// measurement to warm caches. Default 0.5 (of RefsPerCore).
+	WarmupFrac float64
+}
+
+// system-wide constants at full scale.
+const (
+	fullL4Sets  = 1 << 24 // 1GB / 64B lines, direct-mapped
+	fullL3Bytes = 8 << 20 // 8MB shared L3
+	l3Ways      = 16
+	l3HitLat    = 30 // CPU cycles
+	issueWidth  = 4  // 4-wide cores (Table 2)
+	cores       = 8
+)
+
+func (c *Config) setDefaults() {
+	if c.ScaleShift == 0 {
+		c.ScaleShift = 10
+	}
+	if c.CapacityMult == 0 {
+		c.CapacityMult = 1
+	}
+	if c.BWMult == 0 {
+		c.BWMult = 1
+	}
+	if c.MLPWindow == 0 {
+		c.MLPWindow = 6
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.5
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ScaleShift > 18:
+		return fmt.Errorf("sim: ScaleShift %d too large (cache would vanish)", c.ScaleShift)
+	case c.CapacityMult < 0 || c.CapacityMult > 4:
+		return fmt.Errorf("sim: CapacityMult %d out of range", c.CapacityMult)
+	case c.BWMult < 0 || c.BWMult > 4:
+		return fmt.Errorf("sim: BWMult %d out of range", c.BWMult)
+	case c.WarmupFrac < 0 || c.WarmupFrac > 4:
+		return fmt.Errorf("sim: WarmupFrac %v out of range", c.WarmupFrac)
+	}
+	return nil
+}
+
+// Result reports one run.
+type Result struct {
+	Workload string
+	Config   Config
+
+	// IPC per core over the measured window; the weighted-speedup inputs.
+	IPC []float64
+	// Cycles is the measured-window length (max core finish - warm start).
+	Cycles uint64
+
+	L3  cache.Stats
+	L4  dcache.Stats
+	HBM dram.Stats
+	DDR dram.Stats
+
+	Energy         energy.Breakdown
+	CIPAccuracy    float64
+	CIPPredictions uint64
+	MAPIAccuracy   float64
+	// EffCapacity is the average L4 effective-capacity multiplier sampled
+	// over the measured window (Table 5).
+	EffCapacity float64
+}
+
+// Speedup returns the weighted speedup of test over base: the mean of
+// per-core IPC ratios (rate mode reduces to the IPC ratio; mixes weight
+// each benchmark equally), as the paper normalizes Figures 7/10/12/15.
+func Speedup(base, test Result) float64 {
+	if len(base.IPC) != len(test.IPC) || len(base.IPC) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range base.IPC {
+		if base.IPC[i] > 0 {
+			sum += test.IPC[i] / base.IPC[i]
+		}
+	}
+	return sum / float64(len(base.IPC))
+}
+
+// core tracks one core's execution state.
+type core struct {
+	idx         int
+	inst        workloads.Instance
+	clock       uint64
+	gapCycles   uint64
+	outstanding []uint64 // completion times, ascending
+	refsDone    int
+	refsTarget  int
+}
+
+// coreHeap orders cores by clock (ties by index, for determinism).
+type coreHeap []*core
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].idx < h[j].idx
+}
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)   { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// machine is the assembled system.
+type machine struct {
+	cfg   Config
+	l3    *cache.Cache
+	l4    *dcache.Cache
+	hbm   *dram.Memory
+	ddr   *dram.Memory
+	mapi  *dcache.MAPI
+	insts []workloads.Instance
+
+	// First-touch page translation: global virtual page -> physical page.
+	pageMap map[uint64]uint64
+	revMap  []vpageRef // physical page -> owner
+	nextPP  uint64
+}
+
+type vpageRef struct {
+	inst  int
+	vpage uint64
+}
+
+// globalVLine tags a per-core virtual line with its core.
+func globalVLine(coreIdx int, vline uint64) uint64 {
+	return uint64(coreIdx)<<40 | vline
+}
+
+// translate maps a global virtual line to a physical line, allocating the
+// page on first touch.
+func (m *machine) translate(coreIdx int, vline uint64) uint64 {
+	gv := globalVLine(coreIdx, vline)
+	vpage := gv >> 6
+	pp, ok := m.pageMap[vpage]
+	if !ok {
+		pp = m.nextPP
+		m.nextPP++
+		m.pageMap[vpage] = pp
+		m.revMap = append(m.revMap, vpageRef{inst: coreIdx, vpage: vline >> 6})
+	}
+	return pp<<6 | gv&63
+}
+
+// Line implements dcache.DataSource over physical lines.
+func (m *machine) Line(paLine uint64) []byte {
+	pp := paLine >> 6
+	if pp >= uint64(len(m.revMap)) {
+		return nil // untranslated line: treat as incompressible
+	}
+	ref := m.revMap[pp]
+	return m.insts[ref.inst].Data(ref.vpage<<6 | paLine&63)
+}
+
+// Run executes workload w under cfg and returns the measured result.
+func Run(cfg Config, w workloads.Workload) Result {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+
+	m := &machine{cfg: cfg, pageMap: make(map[uint64]uint64)}
+	m.insts = w.Build(cfg.ScaleShift)
+
+	// L4 DRAM device, with the bandwidth/latency knobs applied.
+	hbmCfg := dram.HBMConfig()
+	hbmCfg.Channels *= cfg.BWMult
+	if cfg.HalfLatency {
+		hbmCfg.TCAS /= 2
+		hbmCfg.TRCD /= 2
+		hbmCfg.TRP /= 2
+		hbmCfg.TRAS /= 2
+	}
+	m.hbm = dram.New(hbmCfg)
+	m.ddr = dram.New(dram.DDRConfig())
+
+	sets := (fullL4Sets >> cfg.ScaleShift) * cfg.CapacityMult
+	if sets < 64 {
+		sets = 64
+	}
+	l4cfg := dcache.Config{
+		Sets:       sets,
+		Policy:     cfg.Policy,
+		Org:        cfg.Org,
+		Threshold:  cfg.Threshold,
+		CIPEntries: cfg.CIPEntries,
+		Mem:        m.hbm,
+		Data:       m,
+	}
+	switch cfg.CompressAlg {
+	case "":
+		// hybrid FPC+BDI, the paper's default
+	case "fpc":
+		l4cfg.SingleSizer = func(l []byte) int { return compress.SizeWith(compress.AlgFPC, l) }
+		l4cfg.PairSizer = func(a, b []byte) int { return compress.PairSizeWith(compress.AlgFPC, a, b) }
+	case "bdi":
+		l4cfg.SingleSizer = func(l []byte) int { return compress.SizeWith(compress.AlgBDI, l) }
+		l4cfg.PairSizer = func(a, b []byte) int { return compress.PairSizeWith(compress.AlgBDI, a, b) }
+	default:
+		panic(fmt.Sprintf("sim: unknown CompressAlg %q", cfg.CompressAlg))
+	}
+	m.l4 = dcache.New(l4cfg)
+
+	l3Bytes := fullL3Bytes >> cfg.ScaleShift
+	if l3Bytes < 64*64*l3Ways {
+		l3Bytes = 64 * 64 * l3Ways
+	}
+	m.l3 = cache.New(cache.Config{
+		SizeBytes: l3Bytes, Ways: l3Ways, LineBytes: 64, HitLatency: l3HitLat,
+	})
+	m.mapi = dcache.NewMAPI(4096)
+
+	// Size the run.
+	refs := cfg.RefsPerCore
+	if refs == 0 {
+		maxFP := uint64(0)
+		for _, in := range m.insts {
+			if in.FootprintLines > maxFP {
+				maxFP = in.FootprintLines
+			}
+		}
+		refs = int(5 * maxFP)
+		if refs < 120_000 {
+			refs = 120_000
+		}
+		if refs > 400_000 {
+			refs = 400_000
+		}
+	}
+	warm := int(float64(refs) * cfg.WarmupFrac)
+
+	cs := make([]*core, cores)
+	h := make(coreHeap, 0, cores)
+	for i := range cs {
+		in := m.insts[i%len(m.insts)]
+		instrPerRef := 1200 / in.MPKI
+		gap := uint64(instrPerRef / issueWidth)
+		if gap == 0 {
+			gap = 1
+		}
+		cs[i] = &core{idx: i, inst: in, gapCycles: gap, refsTarget: warm + refs}
+		h = append(h, cs[i])
+	}
+	heap.Init(&h)
+
+	// Phase bookkeeping. Each core's measured window starts when that
+	// core passes its own warmup point (cores proceed at very different
+	// rates under contention); shared-structure statistics reset once
+	// every core is warm.
+	warmClock := make([]uint64, cores)
+	warmedCores := 0
+	warmed := false
+	var capSamples, capSum float64
+	sampleEvery := (refs * cores) / 64
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	processed := 0
+
+	for h.Len() > 0 {
+		c := heap.Pop(&h).(*core)
+		m.step(c)
+		c.refsDone++
+		processed++
+
+		if c.refsDone == warm {
+			warmClock[c.idx] = c.clock
+			warmedCores++
+			if warmedCores == cores {
+				warmed = true
+				m.l3.ResetStats()
+				m.l4.ResetStats()
+				m.hbm.ResetStats()
+				m.ddr.ResetStats()
+			}
+		}
+		if warmed && processed%sampleEvery == 0 {
+			capSum += m.l4.EffectiveCapacity()
+			capSamples++
+		}
+		if c.refsDone < c.refsTarget {
+			heap.Push(&h, c)
+		}
+	}
+
+	// Compute per-core IPC over the measured window.
+	res := Result{Workload: w.Name, Config: cfg, IPC: make([]float64, cores)}
+	var maxFinish, minStart uint64
+	minStart = ^uint64(0)
+	for i, c := range cs {
+		finish := c.clock
+		for _, t := range c.outstanding {
+			if t > finish {
+				finish = t
+			}
+		}
+		start := warmClock[i]
+		if warm == 0 {
+			start = 0
+		}
+		span := finish - start
+		if span == 0 {
+			span = 1
+		}
+		instr := float64(refs) * (1200 / c.inst.MPKI)
+		res.IPC[i] = instr / float64(span)
+		if finish > maxFinish {
+			maxFinish = finish
+		}
+		if start < minStart {
+			minStart = start
+		}
+	}
+	res.Cycles = maxFinish - minStart
+	res.L3 = m.l3.Stats()
+	res.L4 = m.l4.Stats()
+	res.HBM = m.hbm.Stats()
+	res.DDR = m.ddr.Stats()
+	res.Energy = energy.Compute(res.HBM, res.DDR, res.Cycles)
+	res.CIPAccuracy = m.l4.CIP().Accuracy()
+	res.CIPPredictions = m.l4.CIP().Predictions()
+	res.MAPIAccuracy = m.mapi.Accuracy()
+	if capSamples > 0 {
+		res.EffCapacity = capSum / capSamples
+	} else {
+		res.EffCapacity = m.l4.EffectiveCapacity()
+	}
+	return res
+}
+
+// step processes one reference of core c, advancing its clock.
+func (m *machine) step(c *core) {
+	req, ok := c.inst.Gen.Next()
+	if !ok {
+		// Streams are endless by construction (Looping/Synthetic); treat
+		// exhaustion as a repeat of the last line.
+		req.Line = 0
+	}
+	now := c.clock
+	// MLP window: block on the oldest outstanding reference if full.
+	if len(c.outstanding) >= m.cfg.MLPWindow {
+		if t := c.outstanding[0]; t > now {
+			now = t
+		}
+		c.outstanding = c.outstanding[1:]
+	}
+
+	pa := m.translate(c.idx, req.Line)
+	l3HitBefore := m.l3.Contains(pa)
+	done := m.accessMemSystem(now, pa, req.Write, true)
+
+	// Stores retire through the store buffer; only loads occupy the MLP
+	// window.
+	if !req.Write {
+		c.outstanding = insertSorted(c.outstanding, done)
+	}
+
+	// Prefetch options (Table 7) trigger on demand L3 misses only: an L3
+	// hit means the spatial region is already on chip.
+	if !l3HitBefore {
+		switch m.cfg.Prefetch {
+		case PrefetchNextLine:
+			m.prefetch(now, c, req.Line+1)
+		case PrefetchWide128:
+			m.prefetch(now, c, req.Line^1)
+		}
+	}
+
+	c.clock = now + c.gapCycles
+}
+
+// prefetch brings vline into L3 without blocking the core. Prefetches
+// are low-priority traffic: when the target channel's queue is loaded the
+// controller drops them rather than delaying demand requests, as hardware
+// prefetchers do.
+func (m *machine) prefetch(now uint64, c *core, vline uint64) {
+	if vline >= c.inst.FootprintLines {
+		return
+	}
+	pa := m.translate(c.idx, vline)
+	if m.l3.Contains(pa) {
+		return
+	}
+	loc := m.hbm.Decode(pa << 6)
+	if m.hbm.InFlight(now, loc) > m.hbm.Config().QueueDepth/8 {
+		return
+	}
+	m.accessMemSystem(now, pa, false, false)
+}
+
+// accessMemSystem walks one reference through L3 -> L4 -> DDR and returns
+// its data-ready cycle. demand distinguishes demand requests (which train
+// MAP-I) from prefetches.
+func (m *machine) accessMemSystem(now uint64, pa uint64, write bool, demand bool) uint64 {
+	if m.l3.Lookup(pa, write) {
+		return now + l3HitLat
+	}
+	tL4 := now + l3HitLat // L3 miss determination
+
+	// MAP-I: on a predicted miss, launch the main-memory fetch in
+	// parallel with the L4 probe.
+	predHit := true
+	var parallelDDR uint64
+	if demand {
+		predHit = m.mapi.PredictHit(pa)
+		if !predHit {
+			parallelDDR = m.ddr.AccessAddr(tL4, pa<<6, false, 64)
+		}
+	}
+
+	r := m.l4.Read(tL4, pa)
+	var dataAt uint64
+	if r.Hit {
+		dataAt = r.Done
+	} else {
+		switch {
+		case demand && !predHit:
+			dataAt = max64(parallelDDR, tL4)
+		default:
+			dataAt = m.ddr.AccessAddr(r.Done, pa<<6, false, 64)
+		}
+		inst := m.l4.Install(dataAt, pa, false)
+		m.drainVictims(inst.Done, inst.Victims)
+	}
+	if demand {
+		m.mapi.Update(pa, predHit, r.Hit)
+	}
+
+	// Fill L3 with the demand line, plus any adjacent lines the L4
+	// delivered for free (the DICE/BAI bandwidth benefit, Table 6).
+	m.installL3(dataAt, pa, write)
+	for _, extra := range r.Extra {
+		m.installL3(dataAt, extra, false)
+	}
+	return dataAt
+}
+
+// installL3 fills a line into L3, routing any dirty victim back to the L4
+// as a writeback (whose own victims go to main memory).
+func (m *machine) installL3(now uint64, pa uint64, dirty bool) {
+	v, evicted := m.l3.Install(pa, dirty)
+	if evicted && v.Dirty {
+		res := m.l4.Writeback(now, v.Line)
+		m.drainVictims(res.Done, res.Victims)
+	}
+}
+
+// drainVictims writes dirty L4 victims back to main memory.
+func (m *machine) drainVictims(now uint64, victims []dcache.Victim) {
+	for _, v := range victims {
+		if v.Dirty {
+			m.ddr.AccessAddr(now, v.Line<<6, true, 64)
+		}
+	}
+}
+
+// insertSorted keeps the small outstanding-completion slice ascending.
+func insertSorted(s []uint64, v uint64) []uint64 {
+	i := len(s)
+	for i > 0 && s[i-1] > v {
+		i--
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+
+	"dice/internal/dcache"
+	"dice/internal/workloads"
+)
+
+// quickRefs keeps unit-test runs fast; experiments use larger windows.
+const quickRefs = 30_000
+
+func run(t *testing.T, name string, cfg Config) Result {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RefsPerCore == 0 {
+		cfg.RefsPerCore = quickRefs
+	}
+	return Run(cfg, w)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ScaleShift: 25},
+		{CapacityMult: -1},
+		{BWMult: 9},
+		{WarmupFrac: 9},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunProducesSaneResult(t *testing.T) {
+	r := run(t, "gcc", Config{Policy: dcache.PolicyUncompressed})
+	if len(r.IPC) != 8 {
+		t.Fatalf("IPC entries = %d", len(r.IPC))
+	}
+	for i, ipc := range r.IPC {
+		if ipc <= 0 || ipc > 32 {
+			t.Fatalf("core %d IPC = %v out of plausible range", i, ipc)
+		}
+	}
+	if r.Cycles == 0 {
+		t.Fatal("no cycles measured")
+	}
+	if r.L3.Hits+r.L3.Misses == 0 {
+		t.Fatal("L3 saw no traffic")
+	}
+	if r.L4.Reads == 0 {
+		t.Fatal("L4 saw no reads")
+	}
+	if r.HBM.Accesses() == 0 {
+		t.Fatal("stacked DRAM saw no traffic")
+	}
+	if r.Energy.Total() <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	// A capacity-stressed workload must reach main memory after warmup.
+	big := run(t, "mcf", Config{Policy: dcache.PolicyUncompressed})
+	if big.DDR.Accesses() == 0 {
+		t.Fatal("mcf must miss to main memory")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Policy: dcache.PolicyDICE}
+	a := run(t, "soplex", cfg)
+	b := run(t, "soplex", cfg)
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", a.Cycles, b.Cycles)
+	}
+	for i := range a.IPC {
+		if a.IPC[i] != b.IPC[i] {
+			t.Fatalf("core %d IPC differs", i)
+		}
+	}
+	if a.L4 != b.L4 {
+		t.Fatalf("L4 stats differ:\n%+v\n%+v", a.L4, b.L4)
+	}
+}
+
+func TestDICEBeatsBaselineOnCompressibleWorkload(t *testing.T) {
+	base := run(t, "gcc", Config{Policy: dcache.PolicyUncompressed})
+	dice := run(t, "gcc", Config{Policy: dcache.PolicyDICE})
+	s := Speedup(base, dice)
+	if s < 1.05 {
+		t.Fatalf("DICE speedup on gcc = %.3f, want > 1.05", s)
+	}
+	if dice.L3.HitRate() <= base.L3.HitRate() {
+		t.Fatalf("DICE must raise L3 hit rate: %.3f vs %.3f",
+			dice.L3.HitRate(), base.L3.HitRate())
+	}
+}
+
+func TestBAIHurtsIncompressibleButDICEDoesNot(t *testing.T) {
+	base := run(t, "libq", Config{Policy: dcache.PolicyUncompressed})
+	bai := run(t, "libq", Config{Policy: dcache.PolicyBAI})
+	dice := run(t, "libq", Config{Policy: dcache.PolicyDICE})
+	if s := Speedup(base, bai); s > 0.9 {
+		t.Fatalf("BAI on libq = %.3f, want significant slowdown", s)
+	}
+	if s := Speedup(base, dice); s < 0.97 {
+		t.Fatalf("DICE on libq = %.3f, must not degrade", s)
+	}
+}
+
+func TestTSIGivesCapacityBenefitOnLargeFootprint(t *testing.T) {
+	base := run(t, "mcf", Config{Policy: dcache.PolicyUncompressed})
+	tsi := run(t, "mcf", Config{Policy: dcache.PolicyTSI})
+	if s := Speedup(base, tsi); s < 1.02 {
+		t.Fatalf("TSI on mcf = %.3f, want capacity speedup", s)
+	}
+	if tsi.L4.HitRate() <= base.L4.HitRate() {
+		t.Fatal("TSI compression must raise L4 hit rate on mcf")
+	}
+	if tsi.EffCapacity <= base.EffCapacity {
+		t.Fatal("TSI must hold more lines than baseline")
+	}
+}
+
+func TestDoubleCapacityDoubleBWUpperBound(t *testing.T) {
+	base := run(t, "soplex", Config{Policy: dcache.PolicyUncompressed})
+	ideal := run(t, "soplex", Config{Policy: dcache.PolicyUncompressed,
+		CapacityMult: 2, BWMult: 2})
+	if s := Speedup(base, ideal); s < 1.0 {
+		t.Fatalf("2x capacity + 2x BW = %.3f, must not slow down", s)
+	}
+}
+
+func TestSCCSlowerThanDICE(t *testing.T) {
+	base := run(t, "gcc", Config{Policy: dcache.PolicyUncompressed})
+	scc := run(t, "gcc", Config{Policy: dcache.PolicySCC})
+	dice := run(t, "gcc", Config{Policy: dcache.PolicyDICE})
+	if Speedup(base, scc) >= Speedup(base, dice) {
+		t.Fatal("SCC's 4 accesses per request must underperform DICE")
+	}
+	if scc.L4.Probes < 3*scc.L4.Reads {
+		t.Fatalf("SCC probes = %d for %d reads, want ~4x", scc.L4.Probes, scc.L4.Reads)
+	}
+}
+
+func TestKNLClosesToAlloy(t *testing.T) {
+	base := run(t, "gcc", Config{Policy: dcache.PolicyUncompressed})
+	alloy := run(t, "gcc", Config{Policy: dcache.PolicyDICE, Org: dcache.OrgAlloy})
+	knl := run(t, "gcc", Config{Policy: dcache.PolicyDICE, Org: dcache.OrgKNL})
+	sa, sk := Speedup(base, alloy), Speedup(base, knl)
+	if sk < 1.0 {
+		t.Fatalf("KNL DICE = %.3f, must still beat baseline on gcc", sk)
+	}
+	if sk > sa+0.05 {
+		t.Fatalf("KNL (%.3f) should not beat Alloy (%.3f) by a margin", sk, sa)
+	}
+}
+
+func TestPrefetchModesRun(t *testing.T) {
+	base := run(t, "leslie3d", Config{Policy: dcache.PolicyUncompressed})
+	nl := run(t, "leslie3d", Config{Policy: dcache.PolicyUncompressed,
+		Prefetch: PrefetchNextLine})
+	wide := run(t, "leslie3d", Config{Policy: dcache.PolicyUncompressed,
+		Prefetch: PrefetchWide128})
+	// Prefetching must add L4 traffic.
+	if nl.L4.Reads <= base.L4.Reads || wide.L4.Reads <= base.L4.Reads {
+		t.Fatal("prefetch modes must add L4 reads")
+	}
+	// And must not catastrophically degrade.
+	if s := Speedup(base, nl); s < 0.7 {
+		t.Fatalf("nextline prefetch speedup = %.3f", s)
+	}
+}
+
+func TestMixWorkloadRuns(t *testing.T) {
+	w := workloads.Mixes()[0]
+	r := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	if len(r.IPC) != 8 {
+		t.Fatal("mix must produce 8 per-core IPCs")
+	}
+	// Mixed cores run different benchmarks, so IPCs should differ.
+	same := true
+	for i := 1; i < len(r.IPC); i++ {
+		if r.IPC[i] != r.IPC[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("mix cores all produced identical IPC")
+	}
+}
+
+func TestGAPWorkloadRuns(t *testing.T) {
+	w, err := workloads.ByName("cc_twi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Run(Config{Policy: dcache.PolicyUncompressed, RefsPerCore: quickRefs}, w)
+	dice := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	if s := Speedup(base, dice); s < 1.0 {
+		t.Fatalf("DICE on cc_twi = %.3f, graph workloads must benefit", s)
+	}
+	if dice.EffCapacity <= base.EffCapacity {
+		t.Fatal("graph data must compress into extra capacity")
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	a := Result{IPC: []float64{1, 2}}
+	b := Result{IPC: []float64{2, 2}}
+	if s := Speedup(a, b); s != 1.5 {
+		t.Fatalf("speedup = %v, want 1.5", s)
+	}
+	if Speedup(Result{}, Result{}) != 0 {
+		t.Fatal("empty speedup must be 0")
+	}
+	if Speedup(a, Result{IPC: []float64{1}}) != 0 {
+		t.Fatal("mismatched cores must be 0")
+	}
+}
+
+func TestCIPAccuracyHighUnderDICE(t *testing.T) {
+	r := run(t, "soplex", Config{Policy: dcache.PolicyDICE})
+	if r.CIPPredictions == 0 {
+		t.Fatal("DICE must exercise the CIP")
+	}
+	if r.CIPAccuracy < 0.8 {
+		t.Fatalf("CIP accuracy = %.3f, want > 0.8", r.CIPAccuracy)
+	}
+}
+
+func TestWritebacksReachMainMemory(t *testing.T) {
+	r := run(t, "lbm", Config{Policy: dcache.PolicyUncompressed})
+	if r.DDR.Writes == 0 {
+		t.Fatal("a write-heavy workload must produce DDR writebacks")
+	}
+}
+
+func TestCompressAlgRestriction(t *testing.T) {
+	// soplex data is a broad mix; restricting the compressor must still
+	// run and produce a valid result, and the hybrid should hold at
+	// least as much as either restricted algorithm.
+	hybrid := run(t, "soplex", Config{Policy: dcache.PolicyDICE})
+	fpc := run(t, "soplex", Config{Policy: dcache.PolicyDICE, CompressAlg: "fpc"})
+	bdi := run(t, "soplex", Config{Policy: dcache.PolicyDICE, CompressAlg: "bdi"})
+	if fpc.L4.Reads == 0 || bdi.L4.Reads == 0 {
+		t.Fatal("restricted runs produced no traffic")
+	}
+	if hybrid.EffCapacity < fpc.EffCapacity-0.05 ||
+		hybrid.EffCapacity < bdi.EffCapacity-0.05 {
+		t.Fatalf("hybrid capacity %.2f below restricted (%.2f fpc, %.2f bdi)",
+			hybrid.EffCapacity, fpc.EffCapacity, bdi.EffCapacity)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bogus CompressAlg accepted")
+		}
+	}()
+	w, _ := workloads.ByName("gcc")
+	Run(Config{Policy: dcache.PolicyDICE, CompressAlg: "zip", RefsPerCore: 1000}, w)
+}
+
+func TestHalfLatencyHelps(t *testing.T) {
+	base := run(t, "milc", Config{Policy: dcache.PolicyUncompressed})
+	fast := run(t, "milc", Config{Policy: dcache.PolicyUncompressed, HalfLatency: true})
+	if s := Speedup(base, fast); s < 1.0 {
+		t.Fatalf("half-latency L4 speedup = %.3f, want >= 1", s)
+	}
+}

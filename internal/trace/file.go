@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format, for saving kernel-generated or captured
+// streams and replaying them later (or feeding them to other tools):
+//
+//	magic   [4]byte  "DTRC"
+//	version uint32   1
+//	count   uint64   number of requests
+//	records count x {
+//	    lineAndWrite uint64   // line<<1 | writeBit
+//	}
+//
+// Lines are delta-unfriendly in general, so records are stored raw; the
+// format favors simplicity and deterministic round-trips over size.
+
+var traceMagic = [4]byte{'D', 'T', 'R', 'C'}
+
+const traceVersion = 1
+
+// maxTraceLine keeps line<<1 within uint64.
+const maxTraceLine = 1<<63 - 1
+
+// Write serializes a request stream.
+func Write(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(reqs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	var rec [8]byte
+	for _, r := range reqs {
+		if r.Line > maxTraceLine {
+			return fmt.Errorf("trace: line %#x exceeds format range", r.Line)
+		}
+		v := r.Line << 1
+		if r.Write {
+			v |= 1
+		}
+		binary.LittleEndian.PutUint64(rec[:], v)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a request stream written by Write.
+func Read(r io.Reader) ([]Request, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[4:])
+	const maxReasonable = 1 << 31
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	reqs := make([]Request, 0, count)
+	var rec [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		v := binary.LittleEndian.Uint64(rec[:])
+		reqs = append(reqs, Request{Line: v >> 1, Write: v&1 == 1})
+	}
+	return reqs, nil
+}

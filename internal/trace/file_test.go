@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	reqs := []Request{{1, false}, {2, true}, {1 << 40, false}, {0, true}}
+	var buf bytes.Buffer
+	if err := Write(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("len = %d, want %d", len(got), len(reqs))
+	}
+	for i := range reqs {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestFileEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace read back %d records", len(got))
+	}
+}
+
+func TestFileRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("shrt"),
+		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad magic
+		[]byte("DTRC\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad version
+		[]byte("DTRC\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00"), // truncated records
+		[]byte("DTRC\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"), // absurd count
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFileRejectsOversizeLine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Request{{Line: 1 << 63}}); err == nil {
+		t.Fatal("oversize line accepted")
+	}
+}
+
+// Property: arbitrary traces round-trip exactly.
+func TestQuickFileRoundTrip(t *testing.T) {
+	f := func(raw []uint32, writes []bool) bool {
+		reqs := make([]Request, len(raw))
+		for i, v := range raw {
+			reqs[i] = Request{Line: uint64(v), Write: i < len(writes) && writes[i]}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, reqs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || len(got) != len(reqs) {
+			return false
+		}
+		for i := range reqs {
+			if got[i] != reqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileReplayIntegration(t *testing.T) {
+	// A synthetic stream saved and reloaded drives a Replay identically.
+	g := NewSynthetic(baseCfg())
+	orig := Generate(g, 2000)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplay(loaded)
+	for i := 0; i < len(orig); i++ {
+		req, ok := r.Next()
+		if !ok || req != orig[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"testing"
+
+	"dice/internal/compress"
+)
+
+func TestCatalogShape(t *testing.T) {
+	all := All26()
+	if len(all) != 26 {
+		t.Fatalf("All26 returned %d workloads", len(all))
+	}
+	suites := map[Suite]int{}
+	for _, w := range all {
+		suites[w.Suite]++
+		if len(w.Cores) != 8 {
+			t.Fatalf("%s has %d cores, want 8", w.Name, len(w.Cores))
+		}
+	}
+	if suites[SuiteRate] != 16 || suites[SuiteMix] != 4 || suites[SuiteGAP] != 6 {
+		t.Fatalf("suite counts = %v", suites)
+	}
+	if len(LowMPKI13()) != 13 {
+		t.Fatal("low-MPKI set wrong size")
+	}
+}
+
+func TestTable3Values(t *testing.T) {
+	// Spot-check published MPKI and footprints survive in the catalog.
+	checks := map[string]struct {
+		mpki      float64
+		footprint uint64 // per-core bytes (8-copy value / 8)
+	}{
+		"mcf":    {53.6, 13200 * mb / 8},
+		"libq":   {22.2, 256 * mb / 8},
+		"xalanc": {2.2, 1900 * mb / 8},
+		"pr_twi": {112.9, 23100 * mb / 8},
+	}
+	for _, w := range All26() {
+		c, ok := checks[w.Name]
+		if !ok {
+			continue
+		}
+		if w.Cores[0].MPKI != c.mpki {
+			t.Fatalf("%s MPKI = %v, want %v", w.Name, w.Cores[0].MPKI, c.mpki)
+		}
+		if w.Cores[0].FootprintBytes != c.footprint {
+			t.Fatalf("%s footprint = %d, want %d", w.Name, w.Cores[0].FootprintBytes, c.footprint)
+		}
+	}
+}
+
+func TestMixesDrawFromSPEC(t *testing.T) {
+	spec := map[string]bool{}
+	for _, name := range rateOrder {
+		spec[name] = true
+	}
+	for _, w := range Mixes() {
+		seen := map[string]bool{}
+		for _, c := range w.Cores {
+			if !spec[c.Name] {
+				t.Fatalf("%s includes non-SPEC %q", w.Name, c.Name)
+			}
+			if seen[c.Name] {
+				t.Fatalf("%s repeats %q", w.Name, c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+}
+
+func TestBuildSyntheticInstances(t *testing.T) {
+	w, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := w.Build(10)
+	if len(insts) != 8 {
+		t.Fatalf("built %d instances", len(insts))
+	}
+	for i, in := range insts {
+		if in.FootprintLines == 0 {
+			t.Fatalf("core %d footprint zero", i)
+		}
+		for j := 0; j < 100; j++ {
+			r, ok := in.Gen.Next()
+			if !ok {
+				t.Fatalf("core %d stream exhausted", i)
+			}
+			if r.Line >= in.FootprintLines {
+				t.Fatalf("core %d line %d beyond footprint %d", i, r.Line, in.FootprintLines)
+			}
+		}
+		if len(in.Data(3)) != 64 {
+			t.Fatal("data line must be 64 bytes")
+		}
+	}
+	// Different cores get different data copies (different seeds).
+	a, b := insts[0].Data(5), insts[1].Data(5)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Log("cores share identical data at line 5 (possible for zero lines)")
+	}
+}
+
+func TestBuildGAPInstance(t *testing.T) {
+	w, err := ByName("cc_twi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := w.Build(10)
+	if len(insts) != 8 {
+		t.Fatalf("built %d instances", len(insts))
+	}
+	in := insts[0]
+	if in.FootprintLines == 0 {
+		t.Fatal("GAP footprint zero")
+	}
+	seen := 0
+	for j := 0; j < 1000; j++ {
+		r, ok := in.Gen.Next()
+		if !ok {
+			t.Fatal("looping GAP stream exhausted")
+		}
+		if r.Line <= in.FootprintLines {
+			seen++
+		}
+	}
+	if seen != 1000 {
+		t.Fatalf("only %d/1000 requests within footprint", seen)
+	}
+}
+
+func TestCompressibilityOrdering(t *testing.T) {
+	// The catalog must reproduce Figure 4's ordering: gcc/mcf highly
+	// compressible, lbm/libq not.
+	frac := func(name string) float64 {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := w.Build(10)[0]
+		ok := 0
+		const n = 1500
+		for line := uint64(0); line < n; line++ {
+			if compress.CompressedSize(in.Data(line)) <= 36 {
+				ok++
+			}
+		}
+		return float64(ok) / n
+	}
+	gcc, mcf := frac("gcc"), frac("mcf")
+	lbm, libq := frac("lbm"), frac("libq")
+	if gcc < 0.6 || mcf < 0.6 {
+		t.Fatalf("gcc=%.2f mcf=%.2f should be highly compressible", gcc, mcf)
+	}
+	if lbm > 0.25 || libq > 0.15 {
+		t.Fatalf("lbm=%.2f libq=%.2f should be incompressible", lbm, libq)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, err := ByName("povray"); err != nil {
+		t.Fatalf("low-MPKI lookup failed: %v", err)
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 26+13 {
+		t.Fatalf("Names returned %d entries", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	w, _ := ByName("soplex")
+	a := w.Build(10)[0]
+	b := w.Build(10)[0]
+	for i := 0; i < 500; i++ {
+		ra, _ := a.Gen.Next()
+		rb, _ := b.Gen.Next()
+		if ra != rb {
+			t.Fatalf("request %d differs between builds", i)
+		}
+	}
+}
