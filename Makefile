@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench evaluate examples clean
+.PHONY: all build test test-race vet bench evaluate examples clean
 
 all: build vet test
 
@@ -14,6 +14,13 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over everything, including the parallel experiment
+# scheduler's determinism tests (slow: the simulations run ~10x under
+# the detector, so the experiments package far exceeds go test's
+# default 10m timeout).
+test-race:
+	$(GO) test -race -timeout 90m ./...
 
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks.

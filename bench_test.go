@@ -10,7 +10,10 @@
 // one memoized runner: the baseline simulations run once.
 //
 // BENCH_REFS overrides the per-core reference budget (default 30000 here;
-// cmd/dicebench uses 60000 for tighter numbers).
+// cmd/dicebench uses 60000 for tighter numbers). BENCH_WORKERS bounds the
+// simulations run concurrently by each experiment's prefetch phase
+// (default: one per CPU; 1 = serial reference schedule). Reported
+// numbers are byte-identical for every worker count.
 package main
 
 import (
@@ -38,6 +41,11 @@ func sharedRunner() *experiments.Runner {
 			}
 		}
 		runner = experiments.NewRunner(refs)
+		if s := os.Getenv("BENCH_WORKERS"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				runner.Workers = v
+			}
+		}
 	})
 	return runner
 }

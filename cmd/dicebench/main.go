@@ -8,9 +8,13 @@
 //	dicebench -run all            # everything (several minutes)
 //	dicebench -run fig10          # the headline result
 //	dicebench -run table4,table8  # a comma-separated subset
+//	dicebench -workers 1          # bit-exact serial reference schedule
 //	dicebench -list
 //
 // -refs trades fidelity for speed (default 60000 references per core).
+// -workers bounds the concurrent simulations (default: one per CPU);
+// results are byte-identical for every worker count because each
+// simulation is a deterministic function of (config, workload).
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"dice/internal/experiments"
+	"dice/internal/parallel"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 		run     = flag.String("run", "all", "experiment ids, comma separated, or 'all'")
 		refs    = flag.Int("refs", 60_000, "measured references per core")
 		scale   = flag.Uint("scale", 0, "system scale shift (0 = 10)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "print each simulation as it completes")
 	)
@@ -57,10 +63,16 @@ func main() {
 	r := experiments.NewRunner(*refs)
 	r.Scale = *scale
 	r.Verbose = *verbose
-	for _, e := range selected {
-		start := time.Now()
-		rep := e.Run(r)
+	r.Workers = *workers
+
+	// RunAll submits every experiment's simulation matrix to the worker
+	// pool up front, then assembles the reports in the order selected.
+	start := time.Now()
+	reports := experiments.RunAll(r, selected)
+	for _, rep := range reports {
 		fmt.Print(rep.String())
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Println()
 	}
+	fmt.Printf("(%d experiments, %d simulations, %d workers, %.1fs)\n",
+		len(reports), r.Sims(), parallel.Workers(r.Workers), time.Since(start).Seconds())
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"dice/internal/dcache"
+	"dice/internal/parallel"
 	"dice/internal/sim"
 	"dice/internal/workloads"
 )
@@ -35,6 +36,7 @@ func main() {
 		halfLat   = flag.Bool("halflat", false, "halve L4 DRAM latencies")
 		prefetch  = flag.String("prefetch", "none", "L3 prefetch: none|nextline|wide128")
 		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
+		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -102,17 +104,23 @@ func main() {
 		os.Exit(1)
 	}
 
-	res := sim.Run(cfg, w)
-	printResult(res)
-
-	if *baseline {
-		baseCfg := cfg
-		baseCfg.Policy = dcache.PolicyUncompressed
-		baseCfg.Org = dcache.OrgAlloy
-		base := sim.Run(baseCfg, w)
-		fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
-			sim.Speedup(base, res))
+	if !*baseline {
+		printResult(sim.Run(cfg, w))
+		return
 	}
+
+	// With -baseline the two simulations are independent; fan them out.
+	baseCfg := cfg
+	baseCfg.Policy = dcache.PolicyUncompressed
+	baseCfg.Org = dcache.OrgAlloy
+	cfgs := []sim.Config{cfg, baseCfg}
+	results := make([]sim.Result, len(cfgs))
+	parallel.ForEach(*workers, len(cfgs), func(i int) {
+		results[i] = sim.Run(cfgs[i], w)
+	})
+	printResult(results[0])
+	fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
+		sim.Speedup(results[1], results[0]))
 }
 
 func printResult(r sim.Result) {

@@ -34,7 +34,12 @@ func ablationWorkloads() []workloads.Workload {
 // line moves), bandwidth-aware indexing (BAI, half the lines invariant),
 // and DICE's dynamic selection. NSI's cost shows up both in thrashing
 // (like BAI) and in having no cheap fallback.
+func ablateIndexCells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "nsi", "bai", "dice"}, ablationWorkloads())
+}
+
 func AblationIndexing(r *Runner) *Report {
+	r.Prefetch(ablateIndexCells(r)...)
 	rep := &Report{ID: "ablate-index", Title: "Indexing ablation: NSI vs BAI vs DICE",
 		Columns: []string{"NSI", "BAI", "DICE"}}
 	for _, w := range ablationWorkloads() {
@@ -49,19 +54,38 @@ func AblationIndexing(r *Runner) *Report {
 	return rep
 }
 
+// diceWithAlg is the DICE configuration restricted to one compression
+// algorithm (the Section 7.1 ablation).
+func diceWithAlg(r *Runner, alg string) sim.Config {
+	cfg := r.config("dice")
+	cfg.CompressAlg = alg
+	return cfg
+}
+
+func ablateCompressCells(r *Runner) []Cell {
+	cells := r.namedCells([]string{"base", "dice"}, ablationWorkloads())
+	for _, w := range ablationWorkloads() {
+		for _, alg := range []string{"fpc", "bdi"} {
+			cells = append(cells, Cell{
+				Key: "dice-" + alg + "|" + w.Name, Cfg: diceWithAlg(r, alg), W: w,
+			})
+		}
+	}
+	return cells
+}
+
 // AblationCompressor re-runs DICE with FPC alone and BDI alone instead of
 // the hybrid selector (Section 7.1 argues DICE is orthogonal to the
 // compression algorithm; the hybrid should win but not by much on
 // integer-heavy data where both algorithms overlap).
 func AblationCompressor(r *Runner) *Report {
+	r.Prefetch(ablateCompressCells(r)...)
 	rep := &Report{ID: "ablate-compress", Title: "Compression-algorithm ablation under DICE",
 		Columns: []string{"FPC-only", "BDI-only", "Hybrid"}}
-	fpc := func(cfg *sim.Config) { cfg.Policy = r.config("dice").Policy; cfg.CompressAlg = "fpc" }
-	bdi := func(cfg *sim.Config) { cfg.Policy = r.config("dice").Policy; cfg.CompressAlg = "bdi" }
 	var fs, bs, hs []float64
 	for _, w := range ablationWorkloads() {
-		f := r.ablateOne("dice-fpc", w, fpc)
-		bd := r.ablateOne("dice-bdi", w, bdi)
+		f := r.ablateOne("dice-fpc", diceWithAlg(r, "fpc"), w)
+		bd := r.ablateOne("dice-bdi", diceWithAlg(r, "bdi"), w)
 		h := r.Speedup("dice", w)
 		rep.AddRow(w.Name, w.Suite, f, bd, h)
 		fs, bs, hs = append(fs, f), append(bs, bd), append(hs, h)
@@ -74,17 +98,36 @@ func AblationCompressor(r *Runner) *Report {
 	return rep
 }
 
-// ablateOne runs one mutated configuration on one workload.
-func (r *Runner) ablateOne(key string, w workloads.Workload, mutate func(*sim.Config)) float64 {
-	cacheKey := key + "|" + w.Name
-	res, ok := r.cache[cacheKey]
-	if !ok {
-		cfg := r.config("base")
-		mutate(&cfg)
-		res = runSim(cfg, w)
-		r.cache[cacheKey] = res
-	}
+// ablateOne runs one custom configuration on one workload and returns
+// its speedup over the uncompressed baseline.
+func (r *Runner) ablateOne(key string, cfg sim.Config, w workloads.Workload) float64 {
+	res := r.RunConfig(key+"|"+w.Name, cfg, w)
 	return sim.Speedup(r.Run("base", w), res)
+}
+
+// mlpWindows is the AblationMLP sweep of the per-core MLP window.
+var mlpWindows = []int{2, 6, 16}
+
+// mlpCfg is a named configuration with its MLP window overridden.
+func mlpCfg(r *Runner, name string, win int) sim.Config {
+	cfg := r.config(name)
+	cfg.MLPWindow = win
+	return cfg
+}
+
+func ablateMLPCells(r *Runner) []Cell {
+	var cells []Cell
+	for _, w := range ablationWorkloads() {
+		for _, win := range mlpWindows {
+			for _, name := range []string{"base", "dice"} {
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("%s-mlp%d|%s", name, win, w.Name),
+					Cfg: mlpCfg(r, name, win), W: w,
+				})
+			}
+		}
+	}
+	return cells
 }
 
 // AblationMLP sweeps the per-core memory-level-parallelism window, the
@@ -92,30 +135,16 @@ func (r *Runner) ablateOne(key string, w workloads.Workload, mutate func(*sim.Co
 // advantage should persist across the sweep — it relieves bandwidth, not
 // latency, so more outstanding misses do not substitute for it.
 func AblationMLP(r *Runner) *Report {
+	r.Prefetch(ablateMLPCells(r)...)
 	rep := &Report{ID: "ablate-mlp", Title: "Core MLP-window sensitivity of DICE's speedup",
 		Columns: []string{"MLP=2", "MLP=6", "MLP=16"}}
-	windows := []int{2, 6, 16}
+	windows := mlpWindows
 	sums := make([][]float64, len(windows))
 	for _, w := range ablationWorkloads() {
 		vals := make([]float64, len(windows))
 		for i, win := range windows {
-			win := win
-			baseKey := fmt.Sprintf("base-mlp%d", win)
-			diceKey := fmt.Sprintf("dice-mlp%d", win)
-			base, ok := r.cache[baseKey+"|"+w.Name]
-			if !ok {
-				cfg := r.config("base")
-				cfg.MLPWindow = win
-				base = runSim(cfg, w)
-				r.cache[baseKey+"|"+w.Name] = base
-			}
-			dice, ok := r.cache[diceKey+"|"+w.Name]
-			if !ok {
-				cfg := r.config("dice")
-				cfg.MLPWindow = win
-				dice = runSim(cfg, w)
-				r.cache[diceKey+"|"+w.Name] = dice
-			}
+			base := r.RunConfig(fmt.Sprintf("base-mlp%d|%s", win, w.Name), mlpCfg(r, "base", win), w)
+			dice := r.RunConfig(fmt.Sprintf("dice-mlp%d|%s", win, w.Name), mlpCfg(r, "dice", win), w)
 			vals[i] = sim.Speedup(base, dice)
 			sums[i] = append(sums[i], vals[i])
 		}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dice/internal/workloads"
+)
+
+// The load-bearing tests for the parallel scheduler: simulations run
+// through an N-worker pool must be byte-identical to the serial
+// reference schedule, and singleflight memoization must collapse
+// duplicate (config, workload) cells to exactly one execution.
+
+func detWorkloads(t *testing.T) []workloads.Workload {
+	t.Helper()
+	var wls []workloads.Workload
+	for _, name := range []string{"gcc", "soplex"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, w)
+	}
+	return wls
+}
+
+func detRunner(workers int) *Runner {
+	r := NewRunner(4_000)
+	r.Workers = workers
+	return r
+}
+
+func TestDeterminismSerialVsPool(t *testing.T) {
+	wls := detWorkloads(t)
+	cfgs := []string{"base", "dice"}
+
+	serial := detRunner(1)
+	serial.Prefetch(serial.namedCells(cfgs, wls)...)
+
+	// The pooled runner gets every cell twice in one submission: the
+	// duplicates must ride singleflight, not re-simulate.
+	pooled := detRunner(8)
+	cells := pooled.namedCells(cfgs, wls)
+	cells = append(cells, pooled.namedCells(cfgs, wls)...)
+	pooled.Prefetch(cells...)
+
+	if got, want := pooled.Sims(), int64(len(cfgs)*len(wls)); got != want {
+		t.Fatalf("pool executed %d simulations for %d unique cells (singleflight broken)",
+			got, want)
+	}
+	for _, w := range wls {
+		for _, cfg := range cfgs {
+			a, b := serial.Run(cfg, w), pooled.Run(cfg, w)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s|%s: serial and 8-worker results differ:\n%+v\nvs\n%+v",
+					cfg, w.Name, a, b)
+			}
+		}
+	}
+
+	// Report bytes must match too: assemble the same report from both
+	// runners' memoized results.
+	mini := func(r *Runner) string {
+		rep := &Report{ID: "mini", Title: "determinism probe", Columns: []string{"DICE"}}
+		for _, w := range wls {
+			rep.AddRow(w.Name, w.Suite, r.Speedup("dice", w))
+		}
+		rep.GroupGeoMeans()
+		return rep.String()
+	}
+	if a, b := mini(serial), mini(pooled); a != b {
+		t.Fatalf("serial and pooled reports differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestDeterminismRepeatWithinPool re-runs the same cells through the
+// same pool and through a second pool; all three must agree exactly.
+func TestDeterminismRepeatWithinPool(t *testing.T) {
+	w := detWorkloads(t)[0]
+	a := detRunner(8)
+	cells := a.namedCells([]string{"base", "dice"}, []workloads.Workload{w})
+	a.Prefetch(cells...)
+	first := a.Run("dice", w)
+	a.Prefetch(cells...) // second pass: fully memoized
+	second := a.Run("dice", w)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeat prefetch changed a memoized result")
+	}
+	if got, want := a.Sims(), int64(2); got != want {
+		t.Fatalf("executed %d simulations, want %d", got, want)
+	}
+
+	b := detRunner(8)
+	b.Prefetch(b.namedCells([]string{"base", "dice"}, []workloads.Workload{w})...)
+	if !reflect.DeepEqual(first, b.Run("dice", w)) {
+		t.Fatal("two pools disagree on the same cell")
+	}
+}
+
+// TestRunConcurrentCallersSingleflight hammers Run directly from many
+// goroutines (no Prefetch): one simulation, identical results for all.
+func TestRunConcurrentCallersSingleflight(t *testing.T) {
+	w := detWorkloads(t)[0]
+	r := detRunner(8)
+	const callers = 16
+	results := make([]uint64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Run("base", w).Cycles
+		}(i)
+	}
+	wg.Wait()
+	if r.Sims() != 1 {
+		t.Fatalf("%d concurrent callers executed %d simulations, want 1", callers, r.Sims())
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw %d cycles, caller 0 saw %d", i, results[i], results[0])
+		}
+	}
+}
+
+// TestPrefetchPanicPropagates: a panicking cell (invalid config) must
+// cancel the pool and re-panic in the caller, and later requests for
+// the same key must re-panic rather than hang or return garbage.
+func TestPrefetchPanicPropagates(t *testing.T) {
+	w := detWorkloads(t)[0]
+	r := detRunner(4)
+	bad := r.config("base")
+	bad.CapacityMult = 99 // fails Validate inside sim.Run
+	cell := Cell{Key: "bad|" + w.Name, Cfg: bad, W: w}
+
+	mustPanic := func(step string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", step)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Prefetch with invalid cell", func() { r.Prefetch(cell) })
+	mustPanic("waiting on the failed key", func() { r.RunConfig(cell.Key, cell.Cfg, cell.W) })
+}

@@ -56,6 +56,36 @@ func TestByID(t *testing.T) {
 	}
 }
 
+// TestByIDErrorListsAllIDs parses the "(have ...)" list out of the
+// unknown-id error and checks it names exactly the 18 registered
+// experiments — the message is the CLI user's discovery surface.
+func TestByIDErrorListsAllIDs(t *testing.T) {
+	if n := len(All()); n != 18 {
+		t.Fatalf("registry has %d experiments, want 18", n)
+	}
+	_, err := ByID("nope")
+	if err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	msg := err.Error()
+	open := strings.Index(msg, "(have ")
+	if open < 0 || !strings.HasSuffix(msg, ")") {
+		t.Fatalf("error message %q lacks the (have ...) id list", msg)
+	}
+	listed := map[string]bool{}
+	for _, id := range strings.Split(msg[open+len("(have "):len(msg)-1], ", ") {
+		listed[id] = true
+	}
+	for _, e := range All() {
+		if !listed[e.ID] {
+			t.Errorf("error message missing experiment %q: %s", e.ID, msg)
+		}
+	}
+	if len(listed) != len(All()) {
+		t.Errorf("error message lists %d ids, registry has %d", len(listed), len(All()))
+	}
+}
+
 func TestFig04CompressibilityShape(t *testing.T) {
 	rep := Fig04Compressibility(tinyRunner())
 	// Monotonicity: <=32 implies <=36 for every workload.
@@ -327,6 +357,27 @@ func TestReportString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("report string missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestAddRowTooManyValuesPanics(t *testing.T) {
+	rep := &Report{Columns: []string{"A", "B"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow silently accepted more values than columns")
+		}
+	}()
+	rep.AddRow("w", workloads.SuiteRate, 1, 2, 3)
+}
+
+func TestAddRowFewerValuesAllowed(t *testing.T) {
+	rep := &Report{Columns: []string{"A", "B"}}
+	rep.AddRow("w", workloads.SuiteRate, 1.5)
+	if got := rep.Rows[0].Get("A"); got != 1.5 {
+		t.Fatalf("A = %v", got)
+	}
+	if got := rep.Rows[0].Get("B"); got != 0 {
+		t.Fatalf("missing column B reads %v, want 0", got)
 	}
 }
 

@@ -8,10 +8,19 @@ import (
 	"dice/internal/workloads"
 )
 
+// Each figure driver declares its simulation matrix as a cells function
+// (registered in All so RunAll can batch across experiments) and
+// prefetches it through the worker pool before assembling rows.
+
+func fig01Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "base-2cap", "base-2bw", "base-2both"}, workloads.All26())
+}
+
 // Fig01Potential regenerates Figure 1(f): the speedup available from an
 // idealized DRAM cache with double capacity, double bandwidth, or both —
 // the headroom DICE aims at. Paper: ~1.10 / (BW benefit) / ~1.22.
 func Fig01Potential(r *Runner) *Report {
+	r.Prefetch(fig01Cells(r)...)
 	rep := &Report{ID: "fig1", Title: "Potential speedup of 2x capacity / 2x BW / 2x both",
 		Columns: []string{"2xCap", "2xBW", "2xBoth"}}
 	for _, w := range workloads.All26() {
@@ -88,7 +97,12 @@ func Fig04Compressibility(r *Runner) *Report {
 // Fig07StaticIndexing regenerates Figure 7: compression under TSI and
 // BAI against the idealized caches. Paper: TSI +7%, BAI ~0% (wins on
 // compressible workloads, big losses on lbm/libq), 2xBoth +22%.
+func fig07Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "tsi", "bai", "base-2cap", "base-2both"}, workloads.All26())
+}
+
 func Fig07StaticIndexing(r *Runner) *Report {
+	r.Prefetch(fig07Cells(r)...)
 	rep := &Report{ID: "fig7", Title: "Speedup of TSI and BAI static indexing",
 		Columns: []string{"TSI", "BAI", "2xCap", "2xCap2xBW"}}
 	for _, w := range workloads.All26() {
@@ -106,7 +120,12 @@ func Fig07StaticIndexing(r *Runner) *Report {
 
 // Fig10DICE regenerates Figure 10, the headline result. Paper: TSI +7%,
 // BAI +0.1%, DICE +19.0%, double-capacity double-bandwidth +21.9%.
+func fig10Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "tsi", "bai", "dice", "base-2both"}, workloads.All26())
+}
+
 func Fig10DICE(r *Runner) *Report {
+	r.Prefetch(fig10Cells(r)...)
 	rep := &Report{ID: "fig10", Title: "DICE speedup vs static indexing",
 		Columns: []string{"TSI", "BAI", "DICE", "2xCap2xBW"}}
 	for _, w := range workloads.All26() {
@@ -126,7 +145,12 @@ func Fig10DICE(r *Runner) *Report {
 // invariant fraction (TSI == BAI, exactly half by construction) and the
 // BAI/TSI split of the rest. Paper: remaining lines skew 52% TSI / 48%
 // BAI.
+func fig11Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"dice"}, workloads.All26())
+}
+
 func Fig11IndexDistribution(r *Runner) *Report {
+	r.Prefetch(fig11Cells(r)...)
 	rep := &Report{ID: "fig11", Title: "Distribution of BAI and TSI indices under DICE",
 		Columns: []string{"Invariant", "BAI", "TSI"}}
 	for _, w := range workloads.All26() {
@@ -161,7 +185,12 @@ func Fig11IndexDistribution(r *Runner) *Report {
 // Fig12KNL regenerates Figure 12: DICE on the Knights-Landing-style
 // organization (tags in ECC, no neighbor-tag visibility). Paper: +17.5%,
 // within 2% of DICE on Alloy.
+func fig12Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "dice-knl", "dice"}, workloads.All26())
+}
+
 func Fig12KNL(r *Runner) *Report {
+	r.Prefetch(fig12Cells(r)...)
 	rep := &Report{ID: "fig12", Title: "DICE on the KNL DRAM-cache organization",
 		Columns: []string{"DICE-KNL", "DICE-Alloy"}}
 	for _, w := range workloads.All26() {
@@ -177,7 +206,12 @@ func Fig12KNL(r *Runner) *Report {
 
 // Fig13NonIntensive regenerates Figure 13: DICE on the 13 low-MPKI SPEC
 // benchmarks. Paper: no degradation anywhere, ~+2% average.
+func fig13Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "dice"}, workloads.LowMPKI13())
+}
+
 func Fig13NonIntensive(r *Runner) *Report {
+	r.Prefetch(fig13Cells(r)...)
 	rep := &Report{ID: "fig13", Title: "DICE on non-memory-intensive workloads",
 		Columns: []string{"DICE"}}
 	var xs []float64
@@ -196,7 +230,12 @@ func Fig13NonIntensive(r *Runner) *Report {
 // Fig14Energy regenerates Figure 14: L4+memory power, performance,
 // energy and EDP of TSI/BAI/DICE normalized to baseline, averaged over
 // ALL26. Paper: DICE energy -24%, EDP -36%.
+func fig14Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "tsi", "bai", "dice"}, workloads.All26())
+}
+
 func Fig14Energy(r *Runner) *Report {
+	r.Prefetch(fig14Cells(r)...)
 	rep := &Report{ID: "fig14", Title: "Power, performance, energy, EDP (normalized)",
 		Columns: []string{"Power", "Performance", "Energy", "EDP"}}
 	for _, cfg := range []string{"base", "tsi", "bai", "dice"} {
@@ -219,7 +258,12 @@ func Fig14Energy(r *Runner) *Report {
 // Fig15SCC regenerates Figure 15: a Skewed Compressed Cache design on the
 // DRAM substrate vs DICE. Paper: SCC's serialized tag accesses cost 22%
 // slowdown while DICE gains 19%.
+func fig15Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "scc", "dice"}, workloads.All26())
+}
+
 func Fig15SCC(r *Runner) *Report {
+	r.Prefetch(fig15Cells(r)...)
 	rep := &Report{ID: "fig15", Title: "SCC on DRAM cache vs DICE",
 		Columns: []string{"SCC", "DICE"}}
 	for _, w := range workloads.All26() {
@@ -233,25 +277,38 @@ func Fig15SCC(r *Runner) *Report {
 	return rep
 }
 
+// cipLTTSizes is the Last-Time-Table sweep of Section 5.3.
+var cipLTTSizes = []int{512, 2048, 8192}
+
+func cipCells(r *Runner) []Cell {
+	var cells []Cell
+	for _, w := range workloads.All26() {
+		for _, n := range cipLTTSizes {
+			cfg := r.config("dice")
+			cfg.CIPEntries = n
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("dice-cip%d|%s", n, w.Name), Cfg: cfg, W: w,
+			})
+		}
+	}
+	return cells
+}
+
 // CIPAccuracy regenerates the Section 5.3 study: read-index prediction
 // accuracy as the Last-Time Table grows from 512 to 8192 entries.
 // Paper: 93.2% at 512 entries rising to 94.1% at 8192; writes 95%.
 func CIPAccuracy(r *Runner) *Report {
+	r.Prefetch(cipCells(r)...)
 	rep := &Report{ID: "cip", Title: "CIP accuracy vs LTT size",
 		Columns: []string{"512", "2048", "8192"}}
-	sizes := []int{512, 2048, 8192}
+	sizes := cipLTTSizes
 	perSize := make([][]float64, len(sizes))
 	for _, w := range workloads.All26() {
 		vals := make([]float64, len(sizes))
 		for i, n := range sizes {
 			cfg := r.config("dice")
 			cfg.CIPEntries = n
-			key := fmt.Sprintf("dice-cip%d|%s", n, w.Name)
-			res, ok := r.cache[key]
-			if !ok {
-				res = runSim(cfg, w)
-				r.cache[key] = res
-			}
+			res := r.RunConfig(fmt.Sprintf("dice-cip%d|%s", n, w.Name), cfg, w)
 			vals[i] = res.CIPAccuracy
 			perSize[i] = append(perSize[i], res.CIPAccuracy)
 		}

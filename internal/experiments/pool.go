@@ -1,0 +1,73 @@
+// Concurrent simulation scheduler. An experiment's work is a
+// config×workload matrix of independent, deterministic sim.Run calls;
+// Prefetch fans a matrix out across a bounded worker pool and RunAll
+// submits the union of several experiments' matrices up front, so the
+// serial report-assembly loops afterwards find every result memoized.
+// Report bytes are identical for every worker count: assembly order is
+// fixed, and sim.Run is a pure function of (config, workload).
+package experiments
+
+import (
+	"dice/internal/parallel"
+	"dice/internal/sim"
+	"dice/internal/workloads"
+)
+
+// Cell is one (configuration, workload) simulation in an experiment's
+// matrix, memoized under Key (see Runner.RunConfig for the key scheme).
+type Cell struct {
+	Key string
+	Cfg sim.Config
+	W   workloads.Workload
+}
+
+// namedCells builds the matrix of named configurations × workloads.
+func (r *Runner) namedCells(cfgNames []string, wls []workloads.Workload) []Cell {
+	cells := make([]Cell, 0, len(cfgNames)*len(wls))
+	for _, w := range wls {
+		for _, name := range cfgNames {
+			cells = append(cells, Cell{Key: name + "|" + w.Name, Cfg: r.config(name), W: w})
+		}
+	}
+	return cells
+}
+
+// Prefetch simulates every cell across the runner's worker pool and
+// returns once all results are memoized. Cells sharing a key — within
+// one call or with concurrent callers — simulate once (singleflight);
+// the duplicates block until the first finishes. With Workers == 1 the
+// cells run serially in submission order, the reference schedule. A
+// panicking simulation cancels the remaining queue and re-panics here.
+func (r *Runner) Prefetch(cells ...Cell) {
+	parallel.ForEach(r.Workers, len(cells), func(i int) {
+		r.RunConfig(cells[i].Key, cells[i].Cfg, cells[i].W)
+	})
+}
+
+// RunAll regenerates the given experiments. It submits the union of
+// their simulation matrices to the worker pool first (deduplicated by
+// key, preserving first-seen order), then assembles each report
+// serially in the order given — so the printed output is byte-identical
+// to a fully serial run while the simulations use every worker.
+func RunAll(r *Runner, exps []Experiment) []*Report {
+	var cells []Cell
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.Cells == nil {
+			continue
+		}
+		for _, c := range e.Cells(r) {
+			if !seen[c.Key] {
+				seen[c.Key] = true
+				cells = append(cells, c)
+			}
+		}
+	}
+	r.Prefetch(cells...)
+
+	reports := make([]*Report, len(exps))
+	for i, e := range exps {
+		reports[i] = e.Run(r)
+	}
+	return reports
+}

@@ -7,16 +7,24 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"dice/internal/dcache"
+	"dice/internal/parallel"
 	"dice/internal/sim"
 	"dice/internal/stats"
 	"dice/internal/workloads"
 )
 
-// Runner executes and memoizes simulations.
+// Runner executes and memoizes simulations. All methods are safe for
+// concurrent use: memoization is singleflight, so a (config, workload)
+// pair is simulated exactly once no matter how many experiments request
+// it concurrently, and every later caller blocks until that one result
+// is ready.
 type Runner struct {
 	// RefsPerCore overrides the measured reference count (0 = auto).
 	// Tests use small values; the CLI uses larger ones.
@@ -25,13 +33,46 @@ type Runner struct {
 	Scale uint
 	// Verbose prints progress lines as runs complete.
 	Verbose bool
+	// Workers bounds the simulations Prefetch and RunAll execute
+	// concurrently (0 = one per CPU). Workers == 1 is the bit-exact
+	// serial reference schedule; because sim.Run is deterministic per
+	// (config, workload), every worker count produces byte-identical
+	// results — the determinism tests enforce this.
+	Workers int
 
-	cache map[string]sim.Result
+	mu    sync.Mutex
+	cache map[string]*flight
+	sims  atomic.Int64
+
+	logOnce sync.Once
+	log     *parallel.Logger
+}
+
+// flight is one memoization slot. The first requester simulates and
+// closes done; concurrent requesters of the same key block on done and
+// then read res (or re-panic a recorded panic).
+type flight struct {
+	done     chan struct{}
+	res      sim.Result
+	panicked any
 }
 
 // NewRunner returns a Runner with the given per-core reference budget.
 func NewRunner(refsPerCore int) *Runner {
-	return &Runner{RefsPerCore: refsPerCore, cache: make(map[string]sim.Result)}
+	return &Runner{RefsPerCore: refsPerCore, cache: make(map[string]*flight)}
+}
+
+// Sims reports how many simulations actually executed (memoized recalls
+// and singleflight waits excluded).
+func (r *Runner) Sims() int64 { return r.sims.Load() }
+
+// logf emits one line-atomic progress message when Verbose is set.
+func (r *Runner) logf(format string, args ...any) {
+	if !r.Verbose {
+		return
+	}
+	r.logOnce.Do(func() { r.log = parallel.NewLogger(os.Stdout) })
+	r.log.Printf(format, args...)
 }
 
 // named configurations used across experiments.
@@ -98,17 +139,53 @@ func (r *Runner) config(name string) sim.Config {
 
 // Run executes (or recalls) one workload under a named configuration.
 func (r *Runner) Run(cfgName string, w workloads.Workload) sim.Result {
-	key := cfgName + "|" + w.Name
-	if res, ok := r.cache[key]; ok {
-		return res
+	return r.RunConfig(cfgName+"|"+w.Name, r.config(cfgName), w)
+}
+
+// RunConfig executes (or recalls) workload w under an arbitrary
+// configuration, memoized under key. Keys follow the "<config>|<workload>"
+// convention; experiments that sweep parameters outside the named set
+// (the CIP size sweep, the ablations) mint their own config labels.
+//
+// Concurrent calls with the same key simulate exactly once: the first
+// caller runs sim.Run while the rest block until the result is ready. A
+// panicking simulation is re-panicked in every waiter, so a pool worker
+// failure propagates instead of deadlocking the queue.
+func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim.Result {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*flight)
 	}
-	res := sim.Run(r.config(cfgName), w)
-	r.cache[key] = res
-	if r.Verbose {
-		fmt.Printf("  ran %-12s %-10s L4hit=%.2f L3hit=%.2f\n",
-			cfgName, w.Name, res.L4.HitRate(), res.L3.HitRate())
+	if f, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		<-f.done
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+		return f.res
 	}
-	return res
+	f := &flight{done: make(chan struct{})}
+	r.cache[key] = f
+	r.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			f.panicked = p
+			close(f.done)
+			panic(p)
+		}
+		close(f.done)
+	}()
+	f.res = sim.Run(cfg, w)
+	r.sims.Add(1)
+	if cut := strings.IndexByte(key, '|'); cut >= 0 {
+		r.logf("  ran %-12s %-10s L4hit=%.2f L3hit=%.2f\n",
+			key[:cut], w.Name, f.res.L4.HitRate(), f.res.L3.HitRate())
+	} else {
+		r.logf("  ran %-23s L4hit=%.2f L3hit=%.2f\n",
+			key, f.res.L4.HitRate(), f.res.L3.HitRate())
+	}
+	return f.res
 }
 
 // Speedup returns the weighted speedup of cfgName over the uncompressed
@@ -137,13 +214,18 @@ type Row struct {
 // Get returns a row value (0 when missing).
 func (row Row) Get(col string) float64 { return row.Values[col] }
 
-// AddRow appends a row built from parallel column values.
+// AddRow appends a row built from parallel column values. Passing more
+// values than the report has columns is a programmer error (the extras
+// would silently vanish from the rendered table) and panics; passing
+// fewer is allowed — missing columns read as zero.
 func (rep *Report) AddRow(name string, suite workloads.Suite, vals ...float64) {
+	if len(vals) > len(rep.Columns) {
+		panic(fmt.Sprintf("experiments: AddRow(%q): %d values for %d columns",
+			name, len(vals), len(rep.Columns)))
+	}
 	row := Row{Name: name, Suite: suite, Values: map[string]float64{}}
 	for i, v := range vals {
-		if i < len(rep.Columns) {
-			row.Values[rep.Columns[i]] = v
-		}
+		row.Values[rep.Columns[i]] = v
 	}
 	rep.Rows = append(rep.Rows, row)
 }
@@ -209,34 +291,38 @@ func (rep *Report) String() string {
 	return b.String()
 }
 
-// Experiment is one regenerable table/figure.
+// Experiment is one regenerable table/figure. Cells (optional) lists
+// the experiment's full config×workload simulation matrix so RunAll can
+// submit every cell to the worker pool before any report is assembled;
+// experiments that run no simulations (fig4) leave it nil.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(*Runner) *Report
+	Cells func(*Runner) []Cell
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig1", "Potential from doubling capacity/bandwidth (Fig 1f)", Fig01Potential},
-		{"fig4", "Fraction of compressible lines (Fig 4)", Fig04Compressibility},
-		{"fig7", "Static indexing: TSI vs BAI (Fig 7)", Fig07StaticIndexing},
-		{"fig10", "DICE speedup (Fig 10)", Fig10DICE},
-		{"fig11", "Distribution of BAI/TSI indices (Fig 11)", Fig11IndexDistribution},
-		{"fig12", "DICE on Knights Landing organization (Fig 12)", Fig12KNL},
-		{"fig13", "Non-memory-intensive workloads (Fig 13)", Fig13NonIntensive},
-		{"fig14", "Power/Energy/EDP (Fig 14)", Fig14Energy},
-		{"fig15", "Skewed Compressed Cache on DRAM (Fig 15)", Fig15SCC},
-		{"table4", "Sensitivity to DICE threshold (Table 4)", Table04Threshold},
-		{"table5", "Effective capacity (Table 5)", Table05Capacity},
-		{"table6", "Effect of DICE on L3 hit rate (Table 6)", Table06L3HitRate},
-		{"table7", "Comparison to prefetch (Table 7)", Table07Prefetch},
-		{"table8", "Sensitivity to capacity/BW/latency (Table 8)", Table08Sensitivity},
-		{"cip", "CIP accuracy vs LTT size (Sec 5.3)", CIPAccuracy},
-		{"ablate-index", "Ablation: NSI vs BAI vs DICE indexing", AblationIndexing},
-		{"ablate-compress", "Ablation: FPC-only vs BDI-only vs hybrid", AblationCompressor},
-		{"ablate-mlp", "Ablation: core MLP-window sensitivity", AblationMLP},
+		{"fig1", "Potential from doubling capacity/bandwidth (Fig 1f)", Fig01Potential, fig01Cells},
+		{"fig4", "Fraction of compressible lines (Fig 4)", Fig04Compressibility, nil},
+		{"fig7", "Static indexing: TSI vs BAI (Fig 7)", Fig07StaticIndexing, fig07Cells},
+		{"fig10", "DICE speedup (Fig 10)", Fig10DICE, fig10Cells},
+		{"fig11", "Distribution of BAI/TSI indices (Fig 11)", Fig11IndexDistribution, fig11Cells},
+		{"fig12", "DICE on Knights Landing organization (Fig 12)", Fig12KNL, fig12Cells},
+		{"fig13", "Non-memory-intensive workloads (Fig 13)", Fig13NonIntensive, fig13Cells},
+		{"fig14", "Power/Energy/EDP (Fig 14)", Fig14Energy, fig14Cells},
+		{"fig15", "Skewed Compressed Cache on DRAM (Fig 15)", Fig15SCC, fig15Cells},
+		{"table4", "Sensitivity to DICE threshold (Table 4)", Table04Threshold, table04Cells},
+		{"table5", "Effective capacity (Table 5)", Table05Capacity, table05Cells},
+		{"table6", "Effect of DICE on L3 hit rate (Table 6)", Table06L3HitRate, table06Cells},
+		{"table7", "Comparison to prefetch (Table 7)", Table07Prefetch, table07Cells},
+		{"table8", "Sensitivity to capacity/BW/latency (Table 8)", Table08Sensitivity, table08Cells},
+		{"cip", "CIP accuracy vs LTT size (Sec 5.3)", CIPAccuracy, cipCells},
+		{"ablate-index", "Ablation: NSI vs BAI vs DICE indexing", AblationIndexing, ablateIndexCells},
+		{"ablate-compress", "Ablation: FPC-only vs BDI-only vs hybrid", AblationCompressor, ablateCompressCells},
+		{"ablate-mlp", "Ablation: core MLP-window sensitivity", AblationMLP, ablateMLPCells},
 	}
 }
 

@@ -7,12 +7,6 @@ import (
 	"dice/internal/workloads"
 )
 
-// runSim executes a raw sim.Config (used when an experiment needs a
-// configuration outside the named set, e.g. the CIP size sweep).
-func runSim(cfg sim.Config, w workloads.Workload) sim.Result {
-	return sim.Run(cfg, w)
-}
-
 func geoMean(xs []float64) float64 {
 	var logSum float64
 	n := 0
@@ -59,7 +53,12 @@ func groupSets() []struct {
 // Table04Threshold regenerates Table 4: DICE speedup with the BAI
 // insertion threshold at 32B, 36B and 40B, by suite group. Paper: 36B is
 // best (+19.0% overall); 32B and 40B lose 1-2%.
+func table04Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "dice-t32", "dice", "dice-t40"}, workloads.All26())
+}
+
 func Table04Threshold(r *Runner) *Report {
+	r.Prefetch(table04Cells(r)...)
 	rep := &Report{ID: "table4", Title: "Sensitivity to DICE insertion threshold",
 		Columns: []string{"<=32B", "<=36B", "<=40B"}}
 	for _, g := range groupSets() {
@@ -79,7 +78,12 @@ func Table04Threshold(r *Runner) *Report {
 // Table05Capacity regenerates Table 5: effective DRAM-cache capacity of
 // TSI, BAI and DICE relative to the baseline's occupancy. Paper: TSI
 // 1.24x, BAI 1.69x, DICE 1.62x overall; GAP up to 5.57x under BAI.
+func table05Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "tsi", "bai", "dice"}, workloads.All26())
+}
+
 func Table05Capacity(r *Runner) *Report {
+	r.Prefetch(table05Cells(r)...)
 	rep := &Report{ID: "table5", Title: "Effective capacity of TSI/BAI/DICE",
 		Columns: []string{"TSI", "BAI", "DICE"}}
 	for _, g := range groupSets() {
@@ -103,7 +107,12 @@ func Table05Capacity(r *Runner) *Report {
 // Table06L3HitRate regenerates Table 6: shared-L3 hit rate without and
 // with DICE (whose free adjacent lines are installed in L3). Paper:
 // 37.0% -> 43.6% average.
+func table06Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "dice"}, workloads.All26())
+}
+
 func Table06L3HitRate(r *Runner) *Report {
+	r.Prefetch(table06Cells(r)...)
 	rep := &Report{ID: "table6", Title: "Effect of DICE on L3 hit rate",
 		Columns: []string{"BASE", "DICE"}}
 	for _, g := range groupSets() {
@@ -122,7 +131,13 @@ func Table06L3HitRate(r *Runner) *Report {
 // Table07Prefetch regenerates Table 7: wider L3 fetch and next-line
 // prefetching vs DICE, and DICE combined with next-line prefetch.
 // Paper: 128B-PF +1.9%, NL-PF +1.6%, DICE +19.0%, DICE+NL +20.9%.
+func table07Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "base-128pf", "base-nlpf", "dice", "dice-nlpf"},
+		workloads.All26())
+}
+
 func Table07Prefetch(r *Runner) *Report {
+	r.Prefetch(table07Cells(r)...)
 	rep := &Report{ID: "table7", Title: "Comparison of DICE to prefetch",
 		Columns: []string{"128B-PF", "Nextline-PF", "DICE", "DICE+NL"}}
 	for _, g := range groupSets() {
@@ -144,7 +159,13 @@ func Table07Prefetch(r *Runner) *Report {
 // matching uncompressed design as the cache's capacity, bandwidth and
 // latency change. Paper: base +19.0%, 2x capacity +13.2%, 2x BW +24.5%,
 // half latency +24.4%.
+func table08Cells(r *Runner) []Cell {
+	return r.namedCells([]string{"base", "dice", "base-2cap", "dice-2cap",
+		"base-2bw", "dice-2bw", "base-half", "dice-half"}, workloads.All26())
+}
+
 func Table08Sensitivity(r *Runner) *Report {
+	r.Prefetch(table08Cells(r)...)
 	rep := &Report{ID: "table8", Title: "DICE sensitivity to cache capacity/BW/latency",
 		Columns: []string{"Base(1GB)", "2xCap", "2xBW", "50%Lat"}}
 	pairs := [][2]string{

@@ -1,0 +1,107 @@
+// Package parallel provides the small concurrency primitives behind the
+// experiment runner's worker pool: a bounded fan-out over an index space
+// with deterministic claim order, first-panic cancellation, and a
+// line-atomic logger for interleaved progress output.
+//
+// The primitives deliberately carry no results: callers that need
+// per-item outputs write them to distinct slice slots, which is
+// race-free because no two workers share an index.
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n > 0 is used as given;
+// n <= 0 means one worker per available CPU (runtime.GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines
+// (capped at n; workers <= 0 means one per CPU). Workers claim indices
+// in ascending order. With one worker the items run serially in the
+// caller's goroutine — the bit-exact reference schedule.
+//
+// If any fn panics, no further items are started; once the in-flight
+// items return, ForEach re-panics the first panic value in the caller's
+// goroutine, so a panicking simulation cancels the pool rather than
+// crashing a bare worker goroutine.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next    atomic.Int64
+		aborted atomic.Bool
+		mu      sync.Mutex
+		first   any // first panic value, under mu
+		wg      sync.WaitGroup
+	)
+	runOne := func(i int) {
+		defer func() {
+			if p := recover(); p != nil {
+				aborted.Store(true)
+				mu.Lock()
+				if first == nil {
+					first = p
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !aborted.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
+}
+
+// Logger serializes formatted writes so concurrent workers' progress
+// lines never interleave mid-line. The zero value is not usable; wrap a
+// writer with NewLogger.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a line-atomic logger over w.
+func NewLogger(w io.Writer) *Logger { return &Logger{w: w} }
+
+// Printf formats and writes one message under the logger's lock.
+func (l *Logger) Printf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, format, args...)
+}

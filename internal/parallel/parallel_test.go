@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var counts [n]atomic.Int32
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(8, 0, func(int) { t.Fatal("fn called for empty range") })
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order %v not ascending", order)
+		}
+	}
+}
+
+func TestForEachPanicPropagatesAndCancels(t *testing.T) {
+	var started atomic.Int32
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := p.(string); !ok || s != "boom" {
+			t.Fatalf("unexpected panic value %v", p)
+		}
+		// Cancellation: with 2 workers and an early panic, far fewer
+		// than all items should have started. The bound is loose (the
+		// other worker may claim a few items before seeing the flag)
+		// but a full run of 10k items would clearly violate it.
+		if n := started.Load(); n > 1000 {
+			t.Fatalf("%d items started after panic; cancellation failed", n)
+		}
+	}()
+	ForEach(2, 10_000, func(i int) {
+		started.Add(1)
+		if i == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestForEachConcurrentWritesToSlots(t *testing.T) {
+	const n = 200
+	out := make([]int, n)
+	ForEach(8, n, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestLoggerLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var wg sync.WaitGroup
+	const writers, lines = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < lines; i++ {
+				l.Printf("worker%d line with several words %d\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(got) != writers*lines {
+		t.Fatalf("%d lines, want %d", len(got), writers*lines)
+	}
+	for _, line := range got {
+		if !strings.HasPrefix(line, "worker") || !strings.Contains(line, "words") {
+			t.Fatalf("torn line %q", line)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"dice/internal/dcache"
@@ -23,16 +24,43 @@ func run(t *testing.T, name string, cfg Config) Result {
 }
 
 func TestConfigValidate(t *testing.T) {
-	bad := []Config{
-		{ScaleShift: 25},
-		{CapacityMult: -1},
-		{BWMult: 9},
-		{WarmupFrac: 9},
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring of the error; "" means valid
+	}{
+		{"zero value", Config{}, ""},
+		{"ScaleShift 18 boundary", Config{ScaleShift: 18}, ""},
+		{"ScaleShift 19 over", Config{ScaleShift: 19}, "ScaleShift"},
+		{"ScaleShift far over", Config{ScaleShift: 25}, "ScaleShift"},
+		{"CapacityMult -1", Config{CapacityMult: -1}, "CapacityMult"},
+		{"CapacityMult 0 default", Config{CapacityMult: 0}, ""},
+		{"CapacityMult 4 boundary", Config{CapacityMult: 4}, ""},
+		{"CapacityMult 5 over", Config{CapacityMult: 5}, "CapacityMult"},
+		{"BWMult -1", Config{BWMult: -1}, "BWMult"},
+		{"BWMult 0 default", Config{BWMult: 0}, ""},
+		{"BWMult 4 boundary", Config{BWMult: 4}, ""},
+		{"BWMult 5 over", Config{BWMult: 5}, "BWMult"},
+		{"WarmupFrac 4 boundary", Config{WarmupFrac: 4}, ""},
+		{"WarmupFrac 4.1 over", Config{WarmupFrac: 4.1}, "WarmupFrac"},
+		{"WarmupFrac negative", Config{WarmupFrac: -0.5}, "WarmupFrac"},
 	}
-	for i, c := range bad {
-		if err := c.Validate(); err == nil {
-			t.Fatalf("bad config %d accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %s", err, tc.wantErr)
+			}
+		})
 	}
 }
 
