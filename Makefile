@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet bench evaluate examples clean
+.PHONY: all build test test-race fuzz vet bench evaluate examples clean
 
 all: build vet test
 
@@ -21,6 +21,12 @@ test:
 # default 10m timeout).
 test-race:
 	$(GO) test -race -timeout 90m ./...
+
+# Short fuzz pass over the validated-decompress boundary (go's fuzzer
+# accepts one target per invocation).
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzDecompressChecked$$' -fuzztime=30s ./internal/compress
+	$(GO) test -run='^$$' -fuzz='^FuzzCompressRoundtrip$$' -fuzztime=30s ./internal/compress
 
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks.

@@ -15,29 +15,49 @@
 // -workers bounds the concurrent simulations (default: one per CPU);
 // results are byte-identical for every worker count because each
 // simulation is a deterministic function of (config, workload).
+//
+// -fault-ber/-fault-seed/-fault-policy inject deterministic bit errors
+// into every simulation (the fault-sweep experiment sweeps its own BER
+// points regardless). Ctrl-C cancels queued simulations and prints the
+// reports finished so far as a partial run; a second Ctrl-C kills the
+// process immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"dice/internal/experiments"
 	"dice/internal/parallel"
+	"dice/internal/sim"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment ids, comma separated, or 'all'")
-		refs    = flag.Int("refs", 60_000, "measured references per core")
-		scale   = flag.Uint("scale", 0, "system scale shift (0 = 10)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "print each simulation as it completes")
+		run      = flag.String("run", "all", "experiment ids, comma separated, or 'all'")
+		refs     = flag.Int("refs", 60_000, "measured references per core")
+		scale    = flag.Uint("scale", 0, "system scale shift (0 = 10)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
+		faultBER = flag.Float64("fault-ber", 0, "raw bit-error rate injected into every simulation (0 = off)")
+		faultSd  = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
+		faultPol = flag.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		verbose  = flag.Bool("v", false, "print each simulation as it completes")
 	)
 	flag.Parse()
+
+	// Reject bad fault flags before any simulation starts; the same
+	// validation inside sim.Run would otherwise surface as a worker
+	// panic mid-run.
+	if err := (sim.Config{FaultBER: *faultBER, FaultPolicy: *faultPol}).Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -64,15 +84,34 @@ func main() {
 	r.Scale = *scale
 	r.Verbose = *verbose
 	r.Workers = *workers
+	r.FaultBER = *faultBER
+	r.FaultSeed = *faultSd
+	r.FaultPolicy = *faultPol
 
-	// RunAll submits every experiment's simulation matrix to the worker
-	// pool up front, then assembles the reports in the order selected.
+	// First Ctrl-C cancels queued simulations (in-flight ones finish and
+	// the completed reports still print); once cancelled, the handler is
+	// dropped so a second Ctrl-C terminates the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	// RunAllCtx submits every experiment's simulation matrix to the
+	// worker pool up front, then assembles the reports in the order
+	// selected.
 	start := time.Now()
-	reports := experiments.RunAll(r, selected)
+	reports, err := experiments.RunAllCtx(ctx, r, selected)
 	for _, rep := range reports {
 		fmt.Print(rep.String())
 		fmt.Println()
 	}
 	fmt.Printf("(%d experiments, %d simulations, %d workers, %.1fs)\n",
 		len(reports), r.Sims(), parallel.Workers(r.Workers), time.Since(start).Seconds())
+	if err != nil {
+		fmt.Printf("partial run: interrupted with %d of %d experiments assembled\n",
+			len(reports), len(selected))
+		os.Exit(1)
+	}
 }

@@ -35,6 +35,9 @@ func main() {
 		bwMult    = flag.Int("bw", 1, "L4 bandwidth (channel) multiplier")
 		halfLat   = flag.Bool("halflat", false, "halve L4 DRAM latencies")
 		prefetch  = flag.String("prefetch", "none", "L3 prefetch: none|nextline|wide128")
+		faultBER  = flag.Float64("fault-ber", 0, "raw bit-error rate injected into L4 reads (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
+		faultPol  = flag.String("fault-policy", "ecc+quarantine", "ECC/recovery policy: none|ecc|ecc+quarantine")
 		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
 		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
 		list      = flag.Bool("list", false, "list workloads and exit")
@@ -66,6 +69,9 @@ func main() {
 		BWMult:       *bwMult,
 		HalfLatency:  *halfLat,
 		Threshold:    *threshold,
+		FaultBER:     *faultBER,
+		FaultSeed:    *faultSeed,
+		FaultPolicy:  *faultPol,
 	}
 	switch strings.ToLower(*policy) {
 	case "base":
@@ -104,8 +110,20 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Validate up front so flag mistakes fail with one clean line instead
+	// of surfacing mid-run (or from a worker goroutine).
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if !*baseline {
-		printResult(sim.Run(cfg, w))
+		res, err := sim.Run(cfg, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printResult(res)
 		return
 	}
 
@@ -115,9 +133,16 @@ func main() {
 	baseCfg.Org = dcache.OrgAlloy
 	cfgs := []sim.Config{cfg, baseCfg}
 	results := make([]sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
 	parallel.ForEach(*workers, len(cfgs), func(i int) {
-		results[i] = sim.Run(cfgs[i], w)
+		results[i], errs[i] = sim.Run(cfgs[i], w)
 	})
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	printResult(results[0])
 	fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
 		sim.Speedup(results[1], results[0]))
@@ -159,4 +184,13 @@ func printResult(r sim.Result) {
 		r.DDR.QueueStallCycles)
 	fmt.Printf("energy: total=%.3g power=%.3g EDP=%.3g\n",
 		r.Energy.Total(), r.Energy.Power(), r.Energy.EDP())
+	if r.Config.FaultBER > 0 {
+		f := r.Fault
+		fmt.Printf("faults injected: frames=%d flipped-bits=%d corrected=%d detected=%d silent=%d\n",
+			f.Frames.Value(), f.Flipped.Value(), f.Corrected.Value(),
+			f.Detected.Value(), f.Silent.Value())
+		fmt.Printf("fault effects  : refetches=%d flushed-lines=%d dirty-loss=%d checksum-caught=%d silent-hits=%d quarantined-sets=%d\n",
+			r.L4.FaultRefetches, r.L4.FaultFlushedLines, r.L4.FaultDirtyLoss,
+			r.L4.FaultChecksumCaught, r.L4.FaultSilentHits, r.QuarantinedSets)
+	}
 }

@@ -48,8 +48,14 @@ func main() {
 		panic(err)
 	}
 	const refs = 60_000
-	base := sim.Run(sim.Config{Policy: dcache.PolicyUncompressed, RefsPerCore: refs}, w)
-	dice := sim.Run(sim.Config{Policy: dcache.PolicyDICE, RefsPerCore: refs}, w)
+	base, err := sim.Run(sim.Config{Policy: dcache.PolicyUncompressed, RefsPerCore: refs}, w)
+	if err != nil {
+		panic(err)
+	}
+	dice, err := sim.Run(sim.Config{Policy: dcache.PolicyDICE, RefsPerCore: refs}, w)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("pr_twi on the 8-core system (scaled 1/1024):")
 	fmt.Printf("%-28s %10s %10s\n", "", "Alloy", "DICE")

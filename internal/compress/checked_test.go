@@ -1,0 +1,134 @@
+package compress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sampleLines covers every encoding family: zero (ZCA), repeated value
+// (BDIRep), base+delta (BDI), small integers (FPC), and incompressible.
+func sampleLines() [][]byte {
+	zero := make([]byte, LineSize)
+	rep := bytes.Repeat([]byte{0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89}, 8)
+	bdi := make([]byte, LineSize)
+	for i := 0; i < 8; i++ {
+		writeUint(bdi[i*8:], 0x1000_0000_0000+uint64(i*3), 8)
+	}
+	// Wildly varying word values defeat every BDI geometry, but each word
+	// matches a cheap FPC pattern (zero, half-zero, repeated byte, SE16).
+	fpc := make([]byte, LineSize)
+	fpcWords := []uint32{0, 0x1234_0000, 0x5555_5555, 0x0000_7FFF}
+	for i := 0; i < LineSize; i += 4 {
+		writeUint(fpc[i:], uint64(fpcWords[(i/4)%len(fpcWords)]), 4)
+	}
+	raw := make([]byte, LineSize)
+	for i := range raw {
+		raw[i] = byte(splitmixByte(i))
+	}
+	return [][]byte{zero, rep, bdi, fpc, raw}
+}
+
+// splitmixByte gives incompressible-looking deterministic bytes.
+func splitmixByte(i int) uint64 {
+	x := uint64(i)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return x * 0x94D049BB133111EB >> 56
+}
+
+func TestLineSumNeverZero(t *testing.T) {
+	for _, line := range sampleLines() {
+		if LineSum(line) == 0 {
+			t.Fatal("LineSum returned the no-checksum sentinel")
+		}
+	}
+}
+
+func TestDecompressCheckedRoundTrip(t *testing.T) {
+	for i, line := range sampleLines() {
+		enc := CompressBest(line)
+		if enc.Sum == 0 {
+			t.Fatalf("line %d: CompressBest left no checksum", i)
+		}
+		got, err := DecompressChecked(enc)
+		if err != nil {
+			t.Fatalf("line %d (%v): %v", i, enc.Alg, err)
+		}
+		if !bytes.Equal(got, line) {
+			t.Fatalf("line %d (%v): round trip mismatch", i, enc.Alg)
+		}
+	}
+}
+
+func TestDecompressCheckedRejectsCorruption(t *testing.T) {
+	bdiLine := sampleLines()[2]
+	bdiEnc := CompressBest(bdiLine)
+	if bdiEnc.Alg != AlgBDI {
+		t.Fatalf("setup: expected a BDI line, got %v", bdiEnc.Alg)
+	}
+	fpcLine := sampleLines()[3]
+	fpcEnc := CompressBest(fpcLine)
+	if fpcEnc.Alg != AlgFPC {
+		t.Fatalf("setup: expected an FPC line, got %v", fpcEnc.Alg)
+	}
+
+	flip := func(enc Encoding, byteIdx int) Encoding {
+		p := cloneBytes(enc.Payload)
+		p[byteIdx] ^= 0x10
+		enc.Payload = p
+		return enc
+	}
+	truncate := func(enc Encoding, n int) Encoding {
+		enc.Payload = cloneBytes(enc.Payload)[:n]
+		return enc
+	}
+
+	cases := []struct {
+		name string
+		enc  Encoding
+		want string // error substring
+	}{
+		{"unknown alg", Encoding{Alg: AlgID(200), Payload: make([]byte, 8)}, "unknown algorithm"},
+		{"pair member standalone", Encoding{Alg: AlgBDIPair, Mode: BDIB8D1, Payload: make([]byte, 8)}, "standalone"},
+		{"raw short payload", Encoding{Alg: AlgNone, Payload: make([]byte, 63)}, "raw payload"},
+		{"zca with payload", Encoding{Alg: AlgZCA, Payload: []byte{0}}, "zero-line"},
+		{"bdi bad mode", Encoding{Alg: AlgBDI, Mode: 42, Payload: make([]byte, 16)}, "BDI mode"},
+		{"bdi length mismatch", truncate(bdiEnc, bdiEnc.Size()-1), "payload is"},
+		{"bdi payload flip", flip(bdiEnc, 0), "checksum"},
+		{"fpc oversize", Encoding{Alg: AlgFPC, Payload: make([]byte, LineSize)}, "must be under"},
+		{"fpc truncated", truncate(fpcEnc, 2), "truncated"},
+		{"fpc payload flip", flip(fpcEnc, 0), ""},
+		{"wrong checksum", Encoding{Alg: AlgZCA, Sum: 12345}, "checksum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecompressChecked(tc.enc)
+			if err == nil {
+				t.Fatal("corrupt encoding accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecompressCheckedSkipsAbsentChecksum(t *testing.T) {
+	// Per-algorithm Compress leaves Sum zero; checked decode must still
+	// validate structure and succeed.
+	line := sampleLines()[2]
+	enc, ok := (BDI{}).Compress(line)
+	if !ok {
+		t.Fatal("setup: BDI failed")
+	}
+	if enc.Sum != 0 {
+		t.Fatal("setup: raw Compress set a checksum")
+	}
+	got, err := DecompressChecked(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, line) {
+		t.Fatal("round trip mismatch")
+	}
+}

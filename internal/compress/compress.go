@@ -54,6 +54,12 @@ type Encoding struct {
 	Alg     AlgID
 	Mode    uint8 // algorithm-specific sub-mode (BDI geometry)
 	Payload []byte
+	// Sum is a checksum of the original 64-byte line (see LineSum), set
+	// by CompressBest/CompressPair. DecompressChecked verifies it, so
+	// payload corruption is detected instead of silently decoded. Zero
+	// means "no checksum" (encodings built directly by the per-algorithm
+	// Compress methods); LineSum never returns zero.
+	Sum uint32
 }
 
 // Size returns the number of payload bytes the encoding occupies in a set.
@@ -79,7 +85,7 @@ type Compressor interface {
 func CompressBest(line []byte) Encoding {
 	mustLine(line)
 	if isZero(line) {
-		return Encoding{Alg: AlgZCA}
+		return Encoding{Alg: AlgZCA, Sum: LineSum(line)}
 	}
 	best := Encoding{Alg: AlgNone, Payload: cloneBytes(line)}
 	if enc, ok := (BDI{}).Compress(line); ok && enc.Size() < best.Size() {
@@ -88,6 +94,7 @@ func CompressBest(line []byte) Encoding {
 	if enc, ok := (FPC{}).Compress(line); ok && enc.Size() < best.Size() {
 		best = enc
 	}
+	best.Sum = LineSum(line)
 	return best
 }
 

@@ -37,7 +37,7 @@ func CompressPair(a, b []byte) PairEncoding {
 		if payload, ok := bdiTryModeWithBase(b, encA.Mode, base); ok {
 			shared := PairEncoding{
 				A:          encA,
-				B:          Encoding{Alg: AlgBDIPair, Mode: encA.Mode, Payload: payload},
+				B:          Encoding{Alg: AlgBDIPair, Mode: encA.Mode, Payload: payload, Sum: LineSum(b)},
 				SharedBase: true,
 			}
 			if shared.Size() < best.Size() {

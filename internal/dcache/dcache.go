@@ -5,6 +5,7 @@ import (
 
 	"dice/internal/compress"
 	"dice/internal/dram"
+	"dice/internal/fault"
 )
 
 // Policy selects the DRAM-cache design under evaluation.
@@ -107,6 +108,13 @@ type Config struct {
 	// and time; intended for tests and debugging. Incompatible with
 	// custom sizers.
 	VerifyData bool
+	// Faults, when non-nil, injects bit errors into every demand-read
+	// frame transfer and applies the model's ECC policy: detected-
+	// uncorrectable errors flush the untrusted frame (would-be hits are
+	// refetched from main memory by the caller's normal miss path), and
+	// under fault.PolicyECCQuarantine repeatedly faulting sets fall back
+	// to uncompressed single-line storage.
+	Faults *fault.Model
 }
 
 func (c Config) validate() error {
@@ -160,6 +168,24 @@ type Stats struct {
 	VerifyChecks   uint64
 	VerifyFailures uint64
 
+	// Fault-injection effects (Config.Faults). FaultDetectedFrames counts
+	// demand-read transfers whose ECC flagged an uncorrectable error;
+	// FaultRefetches counts would-be hits converted to main-memory
+	// refetches (by a frame flush or a checksum catch); FaultFlushedLines
+	// and FaultDirtyLoss count resident lines invalidated by flushes and
+	// the dirty ones among them (unrecoverable data loss); FaultChecksumCaught
+	// counts silent corruptions caught by the per-line compression
+	// checksum; FaultSilentHits counts corrupt hits served to the core
+	// (uncompressed lines carry no checksum); FaultQuarantined counts
+	// sets demoted to uncompressed storage.
+	FaultDetectedFrames uint64
+	FaultRefetches      uint64
+	FaultFlushedLines   uint64
+	FaultDirtyLoss      uint64
+	FaultChecksumCaught uint64
+	FaultSilentHits     uint64
+	FaultQuarantined    uint64
+
 	// InstallSizeBuckets histograms the compressed sizes of installed
 	// lines in 8-byte buckets: [0]=0B, [1]=1-8B, ..., [8]=57-64B.
 	InstallSizeBuckets [9]uint64
@@ -194,6 +220,13 @@ type Cache struct {
 	// single size + 1 (0 = unset); [1] likewise the pair size for even
 	// lines.
 	sizeMemo map[uint64][2]uint8
+
+	// faultCount tracks detected-uncorrectable faults per set and
+	// quarantined marks sets demoted to uncompressed single-line storage
+	// (fault.PolicyECCQuarantine). Both maps are membership-only — never
+	// iterated — so they cannot perturb determinism.
+	faultCount  map[uint64]uint8
+	quarantined map[uint64]bool
 }
 
 // New builds a DRAM cache. It panics on invalid configuration.
@@ -207,13 +240,18 @@ func New(cfg Config) *Cache {
 	if cfg.CIPEntries == 0 {
 		cfg.CIPEntries = DefaultCIPEntries
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		threshold: cfg.Threshold,
 		sets:      make([]set, cfg.Sets),
 		cip:       NewCIP(cfg.CIPEntries),
 		sizeMemo:  make(map[uint64][2]uint8),
 	}
+	if cfg.Faults != nil {
+		c.faultCount = make(map[uint64]uint8)
+		c.quarantined = make(map[uint64]bool)
+	}
+	return c
 }
 
 // Config returns the cache configuration.
@@ -247,6 +285,65 @@ func (c *Cache) frameLoc(setIdx uint64) dram.Loc {
 func (c *Cache) access(now uint64, setIdx uint64, write bool) uint64 {
 	return c.cfg.Mem.Access(now, c.frameLoc(setIdx), write, c.transferBytes())
 }
+
+// probeRead charges one demand-read access of setIdx and runs the frame
+// transfer through the fault model. A detected-uncorrectable error means
+// nothing in the frame — tags included — can be trusted: the whole set
+// is flushed before the caller inspects it (a resident demand line
+// becomes a main-memory refetch via the normal miss path), and under the
+// quarantine policy repeat offenders are demoted to uncompressed
+// storage. Only demand reads inject faults; writebacks and SCC tag
+// probes are left clean so the model stays simple and comparable across
+// policies (see DESIGN.md).
+func (c *Cache) probeRead(now uint64, setIdx, line uint64) (uint64, fault.Outcome) {
+	done := c.access(now, setIdx, false)
+	c.stats.Probes++
+	if c.cfg.Faults == nil {
+		return done, fault.Clean
+	}
+	out := c.cfg.Faults.ReadFrame(c.transferBytes())
+	if out == fault.Detected {
+		c.stats.FaultDetectedFrames++
+		if c.sets[setIdx].find(line) >= 0 {
+			c.stats.FaultRefetches++
+		}
+		c.flushSet(setIdx)
+		c.noteFrameFault(setIdx)
+	}
+	return done, out
+}
+
+// flushSet discards every resident line of a set after an uncorrectable
+// fault. This is where compression amplifies the blast radius: an
+// uncompressed frame loses at most one line, a DICE frame up to
+// MaxLinesPerSet. Dirty residents are unrecoverable data loss.
+func (c *Cache) flushSet(setIdx uint64) {
+	s := &c.sets[setIdx]
+	for i := range s.entries {
+		c.stats.FaultFlushedLines++
+		if s.entries[i].dirty {
+			c.stats.FaultDirtyLoss++
+		}
+	}
+	s.entries = nil
+}
+
+// noteFrameFault records a detected-uncorrectable fault against a set
+// and quarantines it once it has faulted fault.QuarantineAfter times.
+func (c *Cache) noteFrameFault(setIdx uint64) {
+	if c.cfg.Faults.Policy() != fault.PolicyECCQuarantine || c.quarantined[setIdx] {
+		return
+	}
+	c.faultCount[setIdx]++
+	if c.faultCount[setIdx] >= fault.QuarantineAfter {
+		c.quarantined[setIdx] = true
+		c.stats.FaultQuarantined++
+	}
+}
+
+// QuarantineCount returns the number of sets currently demoted to
+// uncompressed single-line storage.
+func (c *Cache) QuarantineCount() int { return len(c.quarantined) }
 
 // --- compressed-size resolution (memoized) ---
 
@@ -400,9 +497,8 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 	}
 
 	if !dual {
-		done := c.access(now, tsiSet, false)
-		c.stats.Probes++
-		return c.finishRead(done, tsiSet, line, false)
+		done, out := c.probeRead(now, tsiSet, line)
+		return c.finishRead(done, tsiSet, line, false, out)
 	}
 
 	// DICE: predict which location to probe first.
@@ -411,12 +507,11 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 	if predictBAI {
 		first, second = baiSet, tsiSet
 	}
-	done := c.access(now, first, false)
-	c.stats.Probes++
+	done, out := c.probeRead(now, first, line)
 
 	if i := c.sets[first].find(line); i >= 0 {
 		c.cip.Resolve(line, predictBAI, c.sets[first].entries[i].bai)
-		return c.finishRead(done, first, line, predictBAI)
+		return c.finishRead(done, first, line, predictBAI, out)
 	}
 
 	// Not in the predicted set. Whether we must touch the second set
@@ -426,19 +521,25 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 	//   KNL: no neighbor tags; the alternate must be probed to decide.
 	inAlternate := c.sets[second].find(line) >= 0
 	if inAlternate {
-		done = c.access(done, second, false)
-		c.stats.Probes++
+		var out2 fault.Outcome
+		done, out2 = c.probeRead(done, second, line)
 		c.stats.SecondProbes++
-		c.stats.HitInAlternate++
-		c.cip.Resolve(line, predictBAI, !predictBAI)
-		return c.finishRead(done, second, line, !predictBAI)
+		res := c.finishRead(done, second, line, !predictBAI, out2)
+		if res.Hit {
+			c.stats.HitInAlternate++
+			c.cip.Resolve(line, predictBAI, !predictBAI)
+		} else {
+			// A fault destroyed the alternate copy mid-lookup; train CIP
+			// toward where the imminent refill will go.
+			c.cip.Resolve(line, predictBAI, c.predictInstallBAI(line))
+		}
+		return res
 	}
 	if c.cfg.Org == OrgKNL {
 		// Must verify the alternate before declaring a miss. Same row as
 		// the first probe, so the device model prices it as a row hit;
 		// the controller merges adjacent probes when it can.
-		done = c.access(done, second, false)
-		c.stats.Probes++
+		done, _ = c.probeRead(done, second, line)
 		c.stats.SecondProbes++
 	}
 	c.cip.Resolve(line, predictBAI, c.predictInstallBAI(line))
@@ -456,13 +557,34 @@ func (c *Cache) predictInstallBAI(line uint64) bool {
 	return c.singleSize(line) <= c.threshold
 }
 
-// finishRead completes a hit/miss determination against a probed set.
-func (c *Cache) finishRead(done uint64, setIdx uint64, line uint64, usedBAI bool) ReadResult {
+// finishRead completes a hit/miss determination against a probed set,
+// applying the probe's fault outcome to a would-be hit.
+func (c *Cache) finishRead(done uint64, setIdx uint64, line uint64, usedBAI bool, out fault.Outcome) ReadResult {
 	s := &c.sets[setIdx]
 	i := s.find(line)
 	if i < 0 {
 		c.stats.ReadMisses++
 		return ReadResult{Done: done, Hit: false}
+	}
+	if out == fault.Silent {
+		if c.cfg.Policy == PolicyUncompressed || c.quarantined[setIdx] {
+			// Raw lines carry no checksum: the corruption reaches the core
+			// undetected (silent data corruption).
+			c.stats.FaultSilentHits++
+		} else {
+			// Compressed lines carry a checksum (compress.LineSum): the
+			// decode notices, the untrusted line is dropped, and the caller
+			// refetches from main memory via the normal miss path.
+			c.stats.FaultChecksumCaught++
+			c.stats.FaultRefetches++
+			e := s.remove(i)
+			s.repack(c)
+			if e.dirty {
+				c.stats.FaultDirtyLoss++
+			}
+			c.stats.ReadMisses++
+			return ReadResult{Done: done, Hit: false}
+		}
 	}
 	s.touch(i)
 	c.stats.ReadHits++
@@ -488,8 +610,8 @@ func (c *Cache) verifyEntry(e *entry) {
 	}
 	c.stats.VerifyChecks++
 	want := c.cfg.Data.Line(e.line)
-	got := compress.Decompress(*e.enc)
-	if want == nil || len(got) != len(want) {
+	got, err := compress.DecompressChecked(*e.enc)
+	if err != nil || want == nil || len(got) != len(want) {
 		c.stats.VerifyFailures++
 		return
 	}
@@ -653,6 +775,21 @@ func (c *Cache) install(now uint64, line uint64, dirty bool, fromWriteback bool)
 		}
 		victims = append(victims, Victim{Line: v.line, Dirty: v.dirty})
 		s.repack(c)
+	}
+
+	// A quarantined frame falls back to uncompressed storage: one line
+	// per set, so the next fault corrupts a single raw line instead of a
+	// whole compressed set.
+	if len(c.quarantined) > 0 && c.quarantined[setIdx] {
+		for s.lineCount() > 1 {
+			v, _ := s.evictLRU(0)
+			c.stats.Evictions++
+			if v.dirty {
+				c.stats.DirtyEvictions++
+			}
+			victims = append(victims, Victim{Line: v.line, Dirty: v.dirty})
+			s.repack(c)
+		}
 	}
 
 	if c.cfg.Policy == PolicySCC && !fromWriteback {

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// The fault sweep must be reproducible at any worker count: the fault
+// stream is tick-hashed per simulation, never shared across goroutines.
+func TestFaultSweepDeterministicAcrossWorkers(t *testing.T) {
+	a := FaultSweep(detRunner(1)).String()
+	b := FaultSweep(detRunner(8)).String()
+	if a != b {
+		t.Fatalf("fault-sweep differs between 1 and 8 workers:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// BER=0 must be bit-identical to a run with fault injection absent —
+// the guarantee that keeps the existing goldens stable.
+func TestFaultSweepZeroBERMatchesCleanRun(t *testing.T) {
+	r := detRunner(4)
+	w := detWorkloads(t)[0]
+	clean := r.Run("dice", w)
+	cell := r.faultCell("dice", 0, w)
+	zero := r.RunConfig(cell.Key, cell.Cfg, cell.W)
+	// The configs differ only in inert fault fields; scrub those before
+	// comparing so any behavioral difference stands out alone.
+	zero.Config.FaultPolicy = clean.Config.FaultPolicy
+	zero.Config.FaultSeed = clean.Config.FaultSeed
+	if !reflect.DeepEqual(clean, zero) {
+		t.Fatalf("BER=0 result differs from fault-free run:\n%+v\nvs\n%+v", clean, zero)
+	}
+}
+
+// The sweep's reason to exist: compression amplifies faults, so the
+// compressed designs must lose more of their clean-run speedup than the
+// uncompressed baseline at the harsh end of the sweep.
+func TestFaultSweepDegradationOrdering(t *testing.T) {
+	rep := FaultSweep(sharedTiny)
+	get := func(rowName, col string) float64 {
+		for _, row := range rep.Rows {
+			if row.Name == rowName {
+				return row.Get(col)
+			}
+		}
+		t.Fatalf("row %q missing from:\n%s", rowName, rep.String())
+		return 0
+	}
+	rel := func(col string) float64 { return get("ber=0.003", col) / get("ber=0", col) }
+	base, tsi, dice := rel("base"), rel("tsi"), rel("dice")
+	if base <= 0 {
+		t.Fatalf("degenerate baseline ratio %v", base)
+	}
+	if tsi >= base || dice >= base {
+		t.Fatalf("compressed designs must degrade faster than base: base=%.4f tsi=%.4f dice=%.4f",
+			base, tsi, dice)
+	}
+	if !strings.Contains(strings.Join(rep.Notes, "\n"), "quarantined-sets=") {
+		t.Fatalf("notes lack reliability counters:\n%s", rep.String())
+	}
+}
+
+// Cancellation is cooperative at cell granularity: a pre-cancelled
+// context runs nothing and surfaces the context error with whatever
+// reports were already assembled (none, here).
+func TestRunAllCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := detRunner(4)
+	reports, err := RunAllCtx(ctx, r, []Experiment{mustByID(t, "fig10")})
+	if err == nil {
+		t.Fatal("cancelled RunAllCtx reported no error")
+	}
+	if len(reports) != 0 {
+		t.Fatalf("cancelled RunAllCtx assembled %d reports", len(reports))
+	}
+	if r.Sims() != 0 {
+		t.Fatalf("cancelled RunAllCtx executed %d simulations", r.Sims())
+	}
+}
+
+func mustByID(t *testing.T, id string) Experiment {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+
 	"dice/internal/parallel"
 	"dice/internal/sim"
 	"dice/internal/workloads"
@@ -39,7 +41,14 @@ func (r *Runner) namedCells(cfgNames []string, wls []workloads.Workload) []Cell 
 // cells run serially in submission order, the reference schedule. A
 // panicking simulation cancels the remaining queue and re-panics here.
 func (r *Runner) Prefetch(cells ...Cell) {
-	parallel.ForEach(r.Workers, len(cells), func(i int) {
+	r.PrefetchCtx(context.Background(), cells...)
+}
+
+// PrefetchCtx is Prefetch with cooperative cancellation: once ctx is
+// done no further cells start; in-flight simulations complete (their
+// results stay memoized, so a later retry resumes where this left off).
+func (r *Runner) PrefetchCtx(ctx context.Context, cells ...Cell) {
+	parallel.ForEachCtx(ctx, r.Workers, len(cells), func(i int) {
 		r.RunConfig(cells[i].Key, cells[i].Cfg, cells[i].W)
 	})
 }
@@ -50,6 +59,17 @@ func (r *Runner) Prefetch(cells ...Cell) {
 // serially in the order given — so the printed output is byte-identical
 // to a fully serial run while the simulations use every worker.
 func RunAll(r *Runner, exps []Experiment) []*Report {
+	reports, _ := RunAllCtx(context.Background(), r, exps)
+	return reports
+}
+
+// RunAllCtx is RunAll with cooperative cancellation. When ctx is
+// cancelled, queued simulations are skipped (in-flight ones complete)
+// and the reports already assembled are returned alongside ctx's error,
+// so the caller can print a partial run. An experiment whose assembly
+// has started finishes — any of its cells the prefetch skipped are
+// simulated synchronously — so a cancelled report is never half-built.
+func RunAllCtx(ctx context.Context, r *Runner, exps []Experiment) ([]*Report, error) {
 	var cells []Cell
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -63,11 +83,14 @@ func RunAll(r *Runner, exps []Experiment) []*Report {
 			}
 		}
 	}
-	r.Prefetch(cells...)
+	r.PrefetchCtx(ctx, cells...)
 
-	reports := make([]*Report, len(exps))
-	for i, e := range exps {
-		reports[i] = e.Run(r)
+	reports := make([]*Report, 0, len(exps))
+	for _, e := range exps {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
+		reports = append(reports, e.Run(r))
 	}
-	return reports
+	return reports, nil
 }

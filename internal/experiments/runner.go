@@ -39,6 +39,13 @@ type Runner struct {
 	// (config, workload), every worker count produces byte-identical
 	// results — the determinism tests enforce this.
 	Workers int
+	// FaultBER, FaultSeed and FaultPolicy apply fault injection to every
+	// named configuration this runner launches (sim.Config fields of the
+	// same names). Zero BER leaves injection off; the fault-sweep
+	// experiment instead mints per-BER configs itself.
+	FaultBER    float64
+	FaultSeed   uint64
+	FaultPolicy string
 
 	mu    sync.Mutex
 	cache map[string]*flight
@@ -134,6 +141,9 @@ func (r *Runner) config(name string) sim.Config {
 	default:
 		panic("experiments: unknown config " + name)
 	}
+	cfg.FaultBER = r.FaultBER
+	cfg.FaultSeed = r.FaultSeed
+	cfg.FaultPolicy = r.FaultPolicy
 	return cfg
 }
 
@@ -176,7 +186,14 @@ func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim
 		}
 		close(f.done)
 	}()
-	f.res = sim.Run(cfg, w)
+	res, err := sim.Run(cfg, w)
+	if err != nil {
+		// Experiment configs are internal code, not user input: a bad one
+		// is a programming error, and panicking keeps the singleflight
+		// propagation semantics (every waiter re-panics).
+		panic(err)
+	}
+	f.res = res
 	r.sims.Add(1)
 	if cut := strings.IndexByte(key, '|'); cut >= 0 {
 		r.logf("  ran %-12s %-10s L4hit=%.2f L3hit=%.2f\n",
@@ -320,6 +337,7 @@ func All() []Experiment {
 		{"table7", "Comparison to prefetch (Table 7)", Table07Prefetch, table07Cells},
 		{"table8", "Sensitivity to capacity/BW/latency (Table 8)", Table08Sensitivity, table08Cells},
 		{"cip", "CIP accuracy vs LTT size (Sec 5.3)", CIPAccuracy, cipCells},
+		{"fault-sweep", "Degradation under injected bit errors", FaultSweep, faultSweepCells},
 		{"ablate-index", "Ablation: NSI vs BAI vs DICE indexing", AblationIndexing, ablateIndexCells},
 		{"ablate-compress", "Ablation: FPC-only vs BDI-only vs hybrid", AblationCompressor, ablateCompressCells},
 		{"ablate-mlp", "Ablation: core MLP-window sensitivity", AblationMLP, ablateMLPCells},

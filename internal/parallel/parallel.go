@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -35,6 +36,16 @@ func Workers(n int) int {
 // goroutine, so a panicking simulation cancels the pool rather than
 // crashing a bare worker goroutine.
 func ForEach(workers, n int, fn func(i int)) {
+	ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no further items are started. Items already running complete — fn is
+// never interrupted mid-flight — so cancellation granularity is one
+// item. ForEachCtx returns once the in-flight items finish; it does not
+// report which items were skipped (callers observe that through their
+// own result slots).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -44,6 +55,9 @@ func ForEach(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -73,7 +87,7 @@ func ForEach(workers, n int, fn func(i int)) {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !aborted.Load() {
+			for !aborted.Load() && ctx.Err() == nil {
 				i := int(next.Add(1) - 1)
 				if i >= n {
 					return

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strings"
 	"sync"
@@ -108,5 +109,30 @@ func TestLoggerLineAtomic(t *testing.T) {
 		if !strings.HasPrefix(line, "worker") || !strings.Contains(line, "words") {
 			t.Fatalf("torn line %q", line)
 		}
+	}
+}
+
+func TestForEachCtxCancellation(t *testing.T) {
+	// Pre-cancelled: nothing runs, serial and pooled alike.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		ForEachCtx(ctx, workers, 100, func(i int) { ran.Add(1) })
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d items ran under a cancelled context", workers, ran.Load())
+		}
+	}
+
+	// Cancelling mid-run stops new items; in-flight ones complete.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	ForEachCtx(ctx, 2, 1000, func(i int) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+	})
+	if n := ran.Load(); n < 5 || n >= 1000 {
+		t.Fatalf("cancelled pool ran %d of 1000 items", n)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"dice/internal/dcache"
 	"dice/internal/dram"
 	"dice/internal/energy"
+	"dice/internal/fault"
 	"dice/internal/workloads"
 )
 
@@ -62,6 +63,15 @@ type Config struct {
 	// ablation of Section 7.1: "fpc", "bdi", or "" for the default
 	// hybrid FPC+BDI.
 	CompressAlg string
+
+	// FaultBER is the raw bit-error rate injected into L4 demand-read
+	// transfers; 0 (the default) disables fault injection entirely.
+	FaultBER float64
+	// FaultSeed seeds the deterministic fault stream (fault.Config.Seed).
+	FaultSeed uint64
+	// FaultPolicy names the ECC/recovery policy: "none", "ecc", or
+	// "ecc+quarantine" (the default when empty). See fault.ParsePolicy.
+	FaultPolicy string
 
 	// MLPWindow is the per-core outstanding-reference window (models
 	// out-of-order memory-level parallelism). Default 6.
@@ -113,6 +123,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: BWMult %d out of range", c.BWMult)
 	case c.WarmupFrac < 0 || c.WarmupFrac > 4:
 		return fmt.Errorf("sim: WarmupFrac %v out of range", c.WarmupFrac)
+	case c.FaultBER < 0 || c.FaultBER > fault.MaxBER:
+		return fmt.Errorf("sim: FaultBER %v out of range [0, %v]", c.FaultBER, fault.MaxBER)
+	}
+	switch c.CompressAlg {
+	case "", "fpc", "bdi":
+	default:
+		return fmt.Errorf("sim: unknown CompressAlg %q (want fpc, bdi or empty)", c.CompressAlg)
+	}
+	if _, err := fault.ParsePolicy(c.FaultPolicy); err != nil {
+		return fmt.Errorf("sim: %v", err)
 	}
 	return nil
 }
@@ -136,6 +156,12 @@ type Result struct {
 	CIPAccuracy    float64
 	CIPPredictions uint64
 	MAPIAccuracy   float64
+	// Fault reports injected/corrected/detected/silent fault activity over
+	// the measured window (all zero when fault injection is off);
+	// QuarantinedSets is the number of L4 sets quarantined to uncompressed
+	// storage by the end of the run.
+	Fault           fault.Stats
+	QuarantinedSets int
 	// EffCapacity is the average L4 effective-capacity multiplier sampled
 	// over the measured window (Table 5).
 	EffCapacity float64
@@ -233,11 +259,13 @@ func (m *machine) Line(paLine uint64) []byte {
 	return m.insts[ref.inst].Data(ref.vpage<<6 | paLine&63)
 }
 
-// Run executes workload w under cfg and returns the measured result.
-func Run(cfg Config, w workloads.Workload) Result {
+// Run executes workload w under cfg and returns the measured result. It
+// returns an error (never panics) on invalid configuration, so callers
+// assembling configs from flags or files get a clean failure.
+func Run(cfg Config, w workloads.Workload) (Result, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return Result{}, err
 	}
 
 	m := &machine{cfg: cfg, pageMap: make(map[uint64]uint64)}
@@ -278,7 +306,20 @@ func Run(cfg Config, w workloads.Workload) Result {
 		l4cfg.SingleSizer = func(l []byte) int { return compress.SizeWith(compress.AlgBDI, l) }
 		l4cfg.PairSizer = func(a, b []byte) int { return compress.PairSizeWith(compress.AlgBDI, a, b) }
 	default:
-		panic(fmt.Sprintf("sim: unknown CompressAlg %q", cfg.CompressAlg))
+		// Unreachable: Validate rejects unknown algorithms up front.
+		return Result{}, fmt.Errorf("sim: unknown CompressAlg %q", cfg.CompressAlg)
+	}
+	var fm *fault.Model
+	if cfg.FaultBER > 0 {
+		pol, err := fault.ParsePolicy(cfg.FaultPolicy)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %v", err)
+		}
+		fm, err = fault.New(fault.Config{BER: cfg.FaultBER, Seed: cfg.FaultSeed, Policy: pol})
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %v", err)
+		}
+		l4cfg.Faults = fm
 	}
 	m.l4 = dcache.New(l4cfg)
 
@@ -353,6 +394,11 @@ func Run(cfg Config, w workloads.Workload) Result {
 				m.l4.ResetStats()
 				m.hbm.ResetStats()
 				m.ddr.ResetStats()
+				if fm != nil {
+					// Counters restart with the measured window; the fault
+					// stream itself keeps advancing (no tick rewind).
+					fm.ResetStats()
+				}
 			}
 		}
 		if warmed && processed%sampleEvery == 0 {
@@ -406,7 +452,11 @@ func Run(cfg Config, w workloads.Workload) Result {
 	} else {
 		res.EffCapacity = m.l4.EffectiveCapacity()
 	}
-	return res
+	if fm != nil {
+		res.Fault = fm.Stats()
+	}
+	res.QuarantinedSets = m.l4.QuarantineCount()
+	return res, nil
 }
 
 // step processes one reference of core c, advancing its clock.

@@ -20,7 +20,11 @@ func run(t *testing.T, name string, cfg Config) Result {
 	if cfg.RefsPerCore == 0 {
 		cfg.RefsPerCore = quickRefs
 	}
-	return Run(cfg, w)
+	res, err := Run(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -44,6 +48,13 @@ func TestConfigValidate(t *testing.T) {
 		{"WarmupFrac 4 boundary", Config{WarmupFrac: 4}, ""},
 		{"WarmupFrac 4.1 over", Config{WarmupFrac: 4.1}, "WarmupFrac"},
 		{"WarmupFrac negative", Config{WarmupFrac: -0.5}, "WarmupFrac"},
+		{"FaultBER negative", Config{FaultBER: -1e-6}, "FaultBER"},
+		{"FaultBER over max", Config{FaultBER: 0.5}, "FaultBER"},
+		{"FaultBER boundary", Config{FaultBER: 0.1}, ""},
+		{"FaultPolicy ecc", Config{FaultPolicy: "ecc"}, ""},
+		{"FaultPolicy bogus", Config{FaultPolicy: "parity"}, "unknown policy"},
+		{"CompressAlg fpc", Config{CompressAlg: "fpc"}, ""},
+		{"CompressAlg bogus", Config{CompressAlg: "zip"}, "CompressAlg"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -204,7 +215,10 @@ func TestPrefetchModesRun(t *testing.T) {
 
 func TestMixWorkloadRuns(t *testing.T) {
 	w := workloads.Mixes()[0]
-	r := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	r, err := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.IPC) != 8 {
 		t.Fatal("mix must produce 8 per-core IPCs")
 	}
@@ -225,8 +239,14 @@ func TestGAPWorkloadRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := Run(Config{Policy: dcache.PolicyUncompressed, RefsPerCore: quickRefs}, w)
-	dice := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	base, err := Run(Config{Policy: dcache.PolicyUncompressed, RefsPerCore: quickRefs}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dice, err := Run(Config{Policy: dcache.PolicyDICE, RefsPerCore: quickRefs}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s := Speedup(base, dice); s < 1.0 {
 		t.Fatalf("DICE on cc_twi = %.3f, graph workloads must benefit", s)
 	}
@@ -281,13 +301,42 @@ func TestCompressAlgRestriction(t *testing.T) {
 		t.Fatalf("hybrid capacity %.2f below restricted (%.2f fpc, %.2f bdi)",
 			hybrid.EffCapacity, fpc.EffCapacity, bdi.EffCapacity)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bogus CompressAlg accepted")
-		}
-	}()
 	w, _ := workloads.ByName("gcc")
-	Run(Config{Policy: dcache.PolicyDICE, CompressAlg: "zip", RefsPerCore: 1000}, w)
+	_, err := Run(Config{Policy: dcache.PolicyDICE, CompressAlg: "zip", RefsPerCore: 1000}, w)
+	if err == nil || !strings.Contains(err.Error(), "CompressAlg") {
+		t.Fatalf("bogus CompressAlg: err = %v, want CompressAlg error", err)
+	}
+}
+
+func TestFaultInjectionDegradesAndReports(t *testing.T) {
+	clean := run(t, "gcc", Config{Policy: dcache.PolicyDICE})
+	faulty := run(t, "gcc", Config{Policy: dcache.PolicyDICE, FaultBER: 3e-3})
+	if faulty.Fault.Frames.Value() == 0 || faulty.Fault.Flipped.Value() == 0 {
+		t.Fatalf("no faults injected at BER 3e-3: %+v", faulty.Fault)
+	}
+	if faulty.L4.FaultDetectedFrames == 0 {
+		t.Fatal("no detected-uncorrectable frames reached the cache")
+	}
+	if faulty.L4.HitRate() >= clean.L4.HitRate() {
+		t.Fatalf("faults must cost hits: %.4f faulty vs %.4f clean",
+			faulty.L4.HitRate(), clean.L4.HitRate())
+	}
+	if clean.Fault.Frames.Value() != 0 || clean.QuarantinedSets != 0 {
+		t.Fatal("fault stats moved with injection off")
+	}
+}
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	cfg := Config{Policy: dcache.PolicyDICE, FaultBER: 1e-3, FaultSeed: 11}
+	a := run(t, "soplex", cfg)
+	b := run(t, "soplex", cfg)
+	if a.L4 != b.L4 || a.Fault != b.Fault || a.Cycles != b.Cycles {
+		t.Fatal("identical (seed, BER) runs diverged")
+	}
+	c := run(t, "soplex", Config{Policy: dcache.PolicyDICE, FaultBER: 1e-3, FaultSeed: 12})
+	if a.Fault == c.Fault {
+		t.Fatal("different seeds produced identical fault streams")
+	}
 }
 
 func TestHalfLatencyHelps(t *testing.T) {

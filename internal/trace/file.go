@@ -78,14 +78,27 @@ func Read(r io.Reader) ([]Request, error) {
 	if count > maxReasonable {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	reqs := make([]Request, 0, count)
+	// Preallocate conservatively: the count is attacker-controlled (a
+	// flipped header byte can claim billions of records), so capacity is
+	// earned by actual bytes in the stream, not promised by the header.
+	// A plausible-but-huge count over a truncated body then fails at the
+	// first missing record instead of allocating gigabytes up front.
+	const maxPrealloc = 1 << 16
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	reqs := make([]Request, 0, prealloc)
 	var rec [8]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: record %d of %d: %w", i, count, err)
 		}
 		v := binary.LittleEndian.Uint64(rec[:])
 		reqs = append(reqs, Request{Line: v >> 1, Write: v&1 == 1})
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing garbage after %d records", count)
 	}
 	return reqs, nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -40,19 +42,45 @@ func TestFileEmptyTrace(t *testing.T) {
 	}
 }
 
+// header builds a trace header claiming count records, followed by body.
+func header(version uint32, count uint64, body ...byte) []byte {
+	b := []byte("DTRC")
+	b = binary.LittleEndian.AppendUint32(b, version)
+	b = binary.LittleEndian.AppendUint64(b, count)
+	return append(b, body...)
+}
+
 func TestFileRejectsGarbage(t *testing.T) {
-	cases := [][]byte{
-		nil,
-		[]byte("shrt"),
-		[]byte("XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad magic
-		[]byte("DTRC\x09\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00"), // bad version
-		[]byte("DTRC\x01\x00\x00\x00\x05\x00\x00\x00\x00\x00\x00\x00"), // truncated records
-		[]byte("DTRC\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"), // absurd count
+	oneRecord := make([]byte, 8)
+	cases := []struct {
+		name string
+		in   []byte
+		want string // error substring
+	}{
+		{"empty input", nil, "magic"},
+		{"short magic", []byte("shrt"), "magic"},
+		{"bad magic", append([]byte("XXXX"), header(1, 0)[4:]...), "bad magic"},
+		{"truncated header", []byte("DTRC\x01\x00"), "header"},
+		{"bad version", header(9, 0), "version"},
+		{"truncated records", header(1, 5), "record 0 of 5"},
+		{"absurd count", header(1, ^uint64(0)), "implausible"},
+		// A count that passes the plausibility cap but promises ~16GB of
+		// records over an empty body: the allocation guard means this
+		// fails at record 0 instead of preallocating the whole claim.
+		{"huge plausible count, truncated body", header(1, 1<<31), "record 0 of"},
+		{"mid-stream truncation", header(1, 2, oneRecord...), "record 1 of 2"},
+		{"trailing garbage", header(1, 1, append(oneRecord, 0xEE)...), "trailing garbage"},
 	}
-	for i, c := range cases {
-		if _, err := Read(bytes.NewReader(c)); err == nil {
-			t.Fatalf("case %d accepted", i)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(bytes.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("corrupt trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 
