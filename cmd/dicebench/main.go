@@ -21,6 +21,14 @@
 // points regardless). Ctrl-C cancels queued simulations and prints the
 // reports finished so far as a partial run; a second Ctrl-C kills the
 // process immediately.
+//
+// Observability (see METRICS.md): -metrics-out collects an epoch-metrics
+// time series from every simulation executed (-metrics-epoch sets the
+// sampling period) and writes them all to one file, keyed by
+// "<config>|<workload>"; -cpuprofile/-memprofile write pprof profiles of
+// the benchmark process; -selfstats prints the simulator's own
+// allocation cost normalized per million simulated ticks. None of these
+// change simulation results.
 package main
 
 import (
@@ -29,10 +37,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"dice/internal/experiments"
+	"dice/internal/obs"
 	"dice/internal/parallel"
 	"dice/internal/sim"
 )
@@ -48,8 +58,30 @@ func main() {
 		faultPol = flag.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		verbose  = flag.Bool("v", false, "print each simulation as it completes")
+
+		metricsOut   = flag.String("metrics-out", "", "write per-simulation epoch metrics to this file (.csv = CSV, else JSON)")
+		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		selfStats    = flag.Bool("selfstats", false, "print the simulator's own allocation/GC cost")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stopProf()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	// Reject bad fault flags before any simulation starts; the same
 	// validation inside sim.Run would otherwise surface as a worker
@@ -87,6 +119,9 @@ func main() {
 	r.FaultBER = *faultBER
 	r.FaultSeed = *faultSd
 	r.FaultPolicy = *faultPol
+	if *metricsOut != "" {
+		r.MetricsEpoch = *metricsEpoch
+	}
 
 	// First Ctrl-C cancels queued simulations (in-flight ones finish and
 	// the completed reports still print); once cancelled, the handler is
@@ -102,6 +137,7 @@ func main() {
 	// worker pool up front, then assembles the reports in the order
 	// selected.
 	start := time.Now()
+	selfBefore := obs.CaptureSelf()
 	reports, err := experiments.RunAllCtx(ctx, r, selected)
 	for _, rep := range reports {
 		fmt.Print(rep.String())
@@ -109,9 +145,37 @@ func main() {
 	}
 	fmt.Printf("(%d experiments, %d simulations, %d workers, %.1fs)\n",
 		len(reports), r.Sims(), parallel.Workers(r.Workers), time.Since(start).Seconds())
+	if *selfStats {
+		fmt.Println(obs.SelfReport(selfBefore, obs.CaptureSelf(), r.TotalCycles()))
+	}
+	if *metricsOut != "" {
+		if werr := writeRunnerMetrics(r, *metricsOut); werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote epoch metrics for %d simulations to %s\n", len(r.Metrics()), *metricsOut)
+	}
 	if err != nil {
 		fmt.Printf("partial run: interrupted with %d of %d experiments assembled\n",
 			len(reports), len(selected))
 		os.Exit(1)
 	}
+}
+
+// writeRunnerMetrics exports every recorded epoch series, as CSV when
+// the file extension is .csv and JSON otherwise.
+func writeRunnerMetrics(r *experiments.Runner, path string) error {
+	format := "json"
+	if filepath.Ext(path) == ".csv" {
+		format = "csv"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = r.WriteMetrics(f, format)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -8,16 +8,27 @@
 //
 //	dicesim -workload gcc -policy dice
 //	dicesim -workload pr_twi -policy bai -refs 100000 -baseline
+//	dicesim -workload gcc -metrics-out run.json -metrics-epoch 100000
+//	dicesim -workload gcc -trace-events cip,fault
 //	dicesim -list
+//
+// Observability (see METRICS.md): -metrics-out samples epoch metrics
+// into a CSV or JSON time series (format chosen by file extension);
+// -trace-events prints a timeline of component events (comma-separated
+// components from cip, fault, dcache, dram, sim, or "all");
+// -cpuprofile/-memprofile write pprof profiles of the simulator
+// itself. None of these change simulation results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dice/internal/dcache"
+	"dice/internal/obs"
 	"dice/internal/parallel"
 	"dice/internal/sim"
 	"dice/internal/workloads"
@@ -41,8 +52,30 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
 		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
 		list      = flag.Bool("list", false, "list workloads and exit")
+
+		metricsOut   = flag.String("metrics-out", "", "write epoch metrics to this file (.csv = CSV, else JSON)")
+		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out")
+		traceEvents  = flag.String("trace-events", "", "print component events: comma-separated from cip,fault,dcache,dram,sim, or 'all'")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stopProf, err := obs.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stopProf()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := obs.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("evaluation set (Table 3):")
@@ -117,13 +150,32 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Observer for the main configuration (the baseline fan-out run stays
+	// unobserved — its result is only used for the speedup ratio).
+	var ob *obs.Observer
+	if *metricsOut != "" || *traceEvents != "" {
+		ob = &obs.Observer{}
+		if *metricsOut != "" {
+			ob.Rec = obs.NewRecorder(*metricsEpoch, 0)
+		}
+		if *traceEvents != "" {
+			tr, err := obs.NewTracer(*traceEvents, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			ob.Trace = tr
+		}
+	}
+
 	if !*baseline {
-		res, err := sim.Run(cfg, w)
+		res, err := sim.RunObserved(cfg, w, ob)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		printResult(res)
+		finishObserved(ob, *metricsOut)
 		return
 	}
 
@@ -135,7 +187,11 @@ func main() {
 	results := make([]sim.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	parallel.ForEach(*workers, len(cfgs), func(i int) {
-		results[i], errs[i] = sim.Run(cfgs[i], w)
+		var o *obs.Observer
+		if i == 0 {
+			o = ob
+		}
+		results[i], errs[i] = sim.RunObserved(cfgs[i], w, o)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -146,6 +202,48 @@ func main() {
 	printResult(results[0])
 	fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
 		sim.Speedup(results[1], results[0]))
+	finishObserved(ob, *metricsOut)
+}
+
+// finishObserved prints the collected event timeline and writes the
+// epoch-metrics file once results are on screen.
+func finishObserved(ob *obs.Observer, metricsOut string) {
+	if ob == nil {
+		return
+	}
+	if ob.Trace != nil {
+		fmt.Printf("\nevent timeline (%d events, %d dropped):\n",
+			len(ob.Trace.Events()), ob.Trace.Dropped())
+		if err := ob.Trace.WriteTimeline(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	if ob.Rec != nil && metricsOut != "" {
+		if err := writeSeries(metricsOut, ob.Rec.Series()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d epochs (%d dropped) to %s\n",
+			len(ob.Rec.Snapshots()), ob.Rec.Dropped(), metricsOut)
+	}
+}
+
+// writeSeries writes an epoch series to path, as CSV when the file
+// extension is .csv and JSON otherwise.
+func writeSeries(path string, s obs.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".csv" {
+		err = s.WriteCSV(f)
+	} else {
+		err = s.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func printResult(r sim.Result) {

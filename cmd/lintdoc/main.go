@@ -1,0 +1,167 @@
+// Command lintdoc enforces doc comments on exported identifiers, a
+// stdlib-only replacement for the missing-doc checks of revive/golint
+// (which this repo deliberately does not depend on). It walks the
+// package directories named on the command line and reports every
+// exported package-level declaration, method, or struct field that
+// lacks a doc comment, exiting nonzero when any are missing.
+//
+// Usage:
+//
+//	lintdoc ./internal/obs ./internal/fault ./internal/parallel
+//
+// Test files are skipped; grouped declarations accept one comment on
+// the group; a field list naming several fields needs one comment for
+// the group.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lintdoc <package-dir>...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, dir := range flag.Args() {
+		missing, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+		}
+		bad += len(missing)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported identifiers missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory and returns one formatted
+// complaint per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []string
+	complain := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					checkFunc(d, complain)
+				case *ast.GenDecl:
+					checkGen(d, complain)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkFunc flags undocumented exported functions and methods on
+// exported receivers.
+func checkFunc(d *ast.FuncDecl, complain func(token.Pos, string, string)) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	what, name := "function", d.Name.Name
+	if d.Recv != nil && len(d.Recv.List) == 1 {
+		recv := receiverName(d.Recv.List[0].Type)
+		if recv == "" || !ast.IsExported(recv) {
+			return // method on an unexported type
+		}
+		what, name = "method", recv+"."+d.Name.Name
+	}
+	complain(d.Pos(), what, name)
+}
+
+// receiverName unwraps a method receiver type to its base identifier.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	default:
+		return ""
+	}
+}
+
+// checkGen flags undocumented exported types, consts and vars, and
+// recurses into exported struct types' fields. A doc comment on the
+// grouped declaration covers every name in the group.
+func checkGen(d *ast.GenDecl, complain func(token.Pos, string, string)) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+				complain(s.Pos(), "type", s.Name.Name)
+			}
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				checkFields(s.Name.Name, st, complain)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			kind := "const"
+			if d.Tok == token.VAR {
+				kind = "var"
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					complain(n.Pos(), kind, n.Name)
+					break // one complaint per spec line
+				}
+			}
+		}
+	}
+}
+
+// checkFields flags undocumented exported fields of an exported
+// struct type; a line comment after the field counts.
+func checkFields(typeName string, st *ast.StructType, complain func(token.Pos, string, string)) {
+	for _, f := range st.Fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, n := range f.Names {
+			if n.IsExported() {
+				complain(n.Pos(), "field", typeName+"."+n.Name)
+				break
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ type CIP struct {
 
 	predictions uint64
 	correct     uint64
+	flips       uint64
 }
 
 // DefaultCIPEntries is the paper's default LTT size (2048 entries, 256B).
@@ -49,13 +50,23 @@ func (p *CIP) Resolve(line uint64, predictedBAI, actualBAI bool) {
 	if predictedBAI == actualBAI {
 		p.correct++
 	}
-	p.ltt[p.slot(pageOf(line))] = actualBAI
+	p.set(pageOf(line), actualBAI)
 }
 
 // Train updates the table without scoring a prediction (used for install
 // decisions that did not consult the predictor).
 func (p *CIP) Train(line uint64, actualBAI bool) {
-	p.ltt[p.slot(pageOf(line))] = actualBAI
+	p.set(pageOf(line), actualBAI)
+}
+
+// set stores a page's observed policy, counting entry flips for the
+// observability layer (the counter is never read by the simulation).
+func (p *CIP) set(page uint64, bai bool) {
+	s := p.slot(page)
+	if p.ltt[s] != bai {
+		p.flips++
+		p.ltt[s] = bai
+	}
 }
 
 // Accuracy returns the fraction of scored predictions that were correct.
@@ -68,6 +79,23 @@ func (p *CIP) Accuracy() float64 {
 
 // Predictions returns the number of scored predictions.
 func (p *CIP) Predictions() uint64 { return p.predictions }
+
+// Flips returns how many table updates changed a stored entry — each
+// one is a page whose indexing policy flipped between TSI and BAI.
+func (p *CIP) Flips() uint64 { return p.flips }
+
+// BAIFraction returns the fraction of LTT entries currently predicting
+// BAI: the predictor's aggregate policy bias, the observable analogue
+// of a set-dueling PSEL counter.
+func (p *CIP) BAIFraction() float64 {
+	n := 0
+	for _, bai := range p.ltt {
+		if bai {
+			n++
+		}
+	}
+	return float64(n) / float64(len(p.ltt))
+}
 
 // StorageBits returns the predictor's SRAM cost in bits.
 func (p *CIP) StorageBits() int { return len(p.ltt) }

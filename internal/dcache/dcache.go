@@ -6,6 +6,7 @@ import (
 	"dice/internal/compress"
 	"dice/internal/dram"
 	"dice/internal/fault"
+	"dice/internal/obs"
 )
 
 // Policy selects the DRAM-cache design under evaluation.
@@ -115,6 +116,11 @@ type Config struct {
 	// under fault.PolicyECCQuarantine repeatedly faulting sets fall back
 	// to uncompressed single-line storage.
 	Faults *fault.Model
+	// Trace, when non-nil, receives structured observability events
+	// (CIP policy flips, fault outcomes, set flushes and quarantines).
+	// The tracer is read-only with respect to the cache: enabling it
+	// never changes any simulated outcome.
+	Trace *obs.Tracer
 }
 
 func (c Config) validate() error {
@@ -307,8 +313,14 @@ func (c *Cache) probeRead(now uint64, setIdx, line uint64) (uint64, fault.Outcom
 		if c.sets[setIdx].find(line) >= 0 {
 			c.stats.FaultRefetches++
 		}
-		c.flushSet(setIdx)
-		c.noteFrameFault(setIdx)
+		c.cfg.Trace.Emitf(done, obs.CompFault, "detected-frame",
+			"set %d: uncorrectable ECC error, frame untrusted", setIdx)
+		lines, dirty := c.flushSet(setIdx)
+		if c.cfg.Trace.Enabled(obs.CompDCache) && lines > 0 {
+			c.cfg.Trace.Emitf(done, obs.CompDCache, "flush",
+				"set %d: %d lines invalidated (%d dirty, unrecoverable)", setIdx, lines, dirty)
+		}
+		c.noteFrameFault(done, setIdx)
 	}
 	return done, out
 }
@@ -317,20 +329,23 @@ func (c *Cache) probeRead(now uint64, setIdx, line uint64) (uint64, fault.Outcom
 // fault. This is where compression amplifies the blast radius: an
 // uncompressed frame loses at most one line, a DICE frame up to
 // MaxLinesPerSet. Dirty residents are unrecoverable data loss.
-func (c *Cache) flushSet(setIdx uint64) {
+func (c *Cache) flushSet(setIdx uint64) (lines, dirty int) {
 	s := &c.sets[setIdx]
 	for i := range s.entries {
+		lines++
 		c.stats.FaultFlushedLines++
 		if s.entries[i].dirty {
+			dirty++
 			c.stats.FaultDirtyLoss++
 		}
 	}
 	s.entries = nil
+	return lines, dirty
 }
 
 // noteFrameFault records a detected-uncorrectable fault against a set
 // and quarantines it once it has faulted fault.QuarantineAfter times.
-func (c *Cache) noteFrameFault(setIdx uint64) {
+func (c *Cache) noteFrameFault(now uint64, setIdx uint64) {
 	if c.cfg.Faults.Policy() != fault.PolicyECCQuarantine || c.quarantined[setIdx] {
 		return
 	}
@@ -338,12 +353,42 @@ func (c *Cache) noteFrameFault(setIdx uint64) {
 	if c.faultCount[setIdx] >= fault.QuarantineAfter {
 		c.quarantined[setIdx] = true
 		c.stats.FaultQuarantined++
+		c.cfg.Trace.Emitf(now, obs.CompDCache, "quarantine",
+			"set %d: %d faults, demoted to uncompressed storage", setIdx, c.faultCount[setIdx])
 	}
 }
 
 // QuarantineCount returns the number of sets currently demoted to
 // uncompressed single-line storage.
 func (c *Cache) QuarantineCount() int { return len(c.quarantined) }
+
+// cipResolve is CIP.Resolve plus a policy-flip trace event when the
+// update changes the page's stored policy. The flip check (one table
+// read) runs only with cip tracing enabled.
+func (c *Cache) cipResolve(now uint64, line uint64, predictedBAI, actualBAI bool) {
+	if c.cfg.Trace.Enabled(obs.CompCIP) && c.cip.Predict(line) != actualBAI {
+		c.cfg.Trace.Emitf(now, obs.CompCIP, "flip",
+			"page %#x -> %s (line %#x)", line>>6, schemeLabel(actualBAI), line)
+	}
+	c.cip.Resolve(line, predictedBAI, actualBAI)
+}
+
+// cipTrain is CIP.Train plus the same policy-flip trace event.
+func (c *Cache) cipTrain(now uint64, line uint64, actualBAI bool) {
+	if c.cfg.Trace.Enabled(obs.CompCIP) && c.cip.Predict(line) != actualBAI {
+		c.cfg.Trace.Emitf(now, obs.CompCIP, "flip",
+			"page %#x -> %s (line %#x, install)", line>>6, schemeLabel(actualBAI), line)
+	}
+	c.cip.Train(line, actualBAI)
+}
+
+// schemeLabel names an index decision for trace output.
+func schemeLabel(bai bool) string {
+	if bai {
+		return "bai"
+	}
+	return "tsi"
+}
 
 // --- compressed-size resolution (memoized) ---
 
@@ -510,7 +555,7 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 	done, out := c.probeRead(now, first, line)
 
 	if i := c.sets[first].find(line); i >= 0 {
-		c.cip.Resolve(line, predictBAI, c.sets[first].entries[i].bai)
+		c.cipResolve(done, line, predictBAI, c.sets[first].entries[i].bai)
 		return c.finishRead(done, first, line, predictBAI, out)
 	}
 
@@ -527,11 +572,11 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 		res := c.finishRead(done, second, line, !predictBAI, out2)
 		if res.Hit {
 			c.stats.HitInAlternate++
-			c.cip.Resolve(line, predictBAI, !predictBAI)
+			c.cipResolve(done, line, predictBAI, !predictBAI)
 		} else {
 			// A fault destroyed the alternate copy mid-lookup; train CIP
 			// toward where the imminent refill will go.
-			c.cip.Resolve(line, predictBAI, c.predictInstallBAI(line))
+			c.cipResolve(done, line, predictBAI, c.predictInstallBAI(line))
 		}
 		return res
 	}
@@ -542,7 +587,7 @@ func (c *Cache) Read(now uint64, line uint64) ReadResult {
 		done, _ = c.probeRead(done, second, line)
 		c.stats.SecondProbes++
 	}
-	c.cip.Resolve(line, predictBAI, c.predictInstallBAI(line))
+	c.cipResolve(done, line, predictBAI, c.predictInstallBAI(line))
 	c.stats.ReadMisses++
 	return ReadResult{Done: done, Hit: false}
 }
@@ -571,12 +616,16 @@ func (c *Cache) finishRead(done uint64, setIdx uint64, line uint64, usedBAI bool
 			// Raw lines carry no checksum: the corruption reaches the core
 			// undetected (silent data corruption).
 			c.stats.FaultSilentHits++
+			c.cfg.Trace.Emitf(done, obs.CompFault, "silent-hit",
+				"set %d line %#x: corrupt raw line served to the core", setIdx, line)
 		} else {
 			// Compressed lines carry a checksum (compress.LineSum): the
 			// decode notices, the untrusted line is dropped, and the caller
 			// refetches from main memory via the normal miss path.
 			c.stats.FaultChecksumCaught++
 			c.stats.FaultRefetches++
+			c.cfg.Trace.Emitf(done, obs.CompFault, "checksum-caught",
+				"set %d line %#x: corrupt encoding dropped, refetching", setIdx, line)
 			e := s.remove(i)
 			s.repack(c)
 			if e.dirty {
@@ -715,10 +764,10 @@ func (c *Cache) install(now uint64, line uint64, dirty bool, fromWriteback bool)
 		c.stats.InstallInvariant++
 	case usedBAI:
 		c.stats.InstallBAI++
-		c.cip.Train(line, true)
+		c.cipTrain(now, line, true)
 	default:
 		c.stats.InstallTSI++
-		c.cip.Train(line, false)
+		c.cipTrain(now, line, false)
 	}
 
 	s := &c.sets[setIdx]

@@ -15,7 +15,11 @@
 // small utilization fraction and cancels out of all normalized results.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"dice/internal/obs"
+)
 
 // Config describes one DRAM device. All latencies are in CPU cycles.
 type Config struct {
@@ -41,6 +45,12 @@ type Config struct {
 	// already-scheduled row turn). This model serves requests in arrival
 	// order, so the batching is applied statistically. 0 means 4.
 	BatchFactor int
+	// Name labels this device in trace events (e.g. "l4", "ddr").
+	Name string
+	// Trace, when non-nil, receives row-buffer-conflict-run events
+	// (obs.CompDRAM). Observability only: enabling it never changes
+	// any timing outcome.
+	Trace *obs.Tracer
 }
 
 // HBMConfig returns the stacked-DRAM configuration of Table 2: 4 channels,
@@ -267,6 +277,11 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 	default:
 		m.stats.RowConflicts++
 		bk.confRun++
+		if bk.confRun >= TraceConflictRun && bk.confRun%TraceConflictRun == 0 {
+			m.cfg.Trace.Emitf(cmdStart, obs.CompDRAM, "row-conflict-run",
+				"%s ch%d bank%d: %d row switches on this bank (latest row %d)",
+				m.cfg.Name, loc.Channel, loc.Bank, bk.confRun, loc.Row)
+		}
 		batch := m.cfg.BatchFactor
 		if batch == 0 {
 			batch = 4
@@ -325,6 +340,28 @@ func (m *Memory) InFlight(now uint64, loc Loc) int {
 	for i := 0; i < ch.count; i++ {
 		if ch.queue[(ch.head+i)%m.cfg.QueueDepth] > now {
 			n++
+		}
+	}
+	return n
+}
+
+// TraceConflictRun is the per-bank row-switch count threshold at which
+// an obs.CompDRAM "row-conflict-run" trace event fires (and again at
+// every multiple, so a pathological bank stays visible without
+// flooding the bounded log).
+const TraceConflictRun = 16
+
+// InFlightTotal returns how many requests are queued across every
+// channel and still incomplete at cycle now. Read-only: a queue-depth
+// gauge for the epoch metrics recorder.
+func (m *Memory) InFlightTotal(now uint64) int {
+	n := 0
+	for c := range m.channels {
+		ch := &m.channels[c]
+		for i := 0; i < ch.count; i++ {
+			if ch.queue[(ch.head+i)%m.cfg.QueueDepth] > now {
+				n++
+			}
 		}
 	}
 	return n

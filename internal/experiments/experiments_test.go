@@ -57,11 +57,11 @@ func TestByID(t *testing.T) {
 }
 
 // TestByIDErrorListsAllIDs parses the "(have ...)" list out of the
-// unknown-id error and checks it names exactly the 19 registered
+// unknown-id error and checks it names exactly the 20 registered
 // experiments — the message is the CLI user's discovery surface.
 func TestByIDErrorListsAllIDs(t *testing.T) {
-	if n := len(All()); n != 19 {
-		t.Fatalf("registry has %d experiments, want 19", n)
+	if n := len(All()); n != 20 {
+		t.Fatalf("registry has %d experiments, want 20", n)
 	}
 	_, err := ByID("nope")
 	if err == nil {

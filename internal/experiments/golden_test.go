@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite the golden report files under t
 // simulations beyond what the shape tests already execute — and on a
 // multi-core machine the shared runner's pool exercises the parallel
 // scheduler, making any schedule-dependence show up as a golden diff.
-var goldenIDs = []string{"fig10", "table4", "cip", "ablate-index", "fault-sweep"}
+var goldenIDs = []string{"fig10", "table4", "cip", "ablate-index", "fault-sweep", "metrics-demo"}
 
 // TestGoldenReports compares each report's rendered bytes against
 // testdata/<id>.golden. After an intentional simulator change, refresh

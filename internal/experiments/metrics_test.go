@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// metricsRunner is a detRunner with epoch recording switched on.
+func metricsRunner(workers int) *Runner {
+	r := detRunner(workers)
+	r.MetricsEpoch = 25_000
+	return r
+}
+
+// TestMetricsRecordingPreservesDeterminism is the acceptance check for
+// the observability layer: with recording ON, results must be
+// byte-identical between the serial schedule and an 8-worker pool, and
+// identical to a runner with recording OFF — and the exported metrics
+// bytes themselves must be schedule-independent.
+func TestMetricsRecordingPreservesDeterminism(t *testing.T) {
+	wls := detWorkloads(t)
+	cfgs := []string{"base", "dice"}
+
+	serialOn := metricsRunner(1)
+	pooledOn := metricsRunner(8)
+	pooledOff := detRunner(8)
+	for _, r := range []*Runner{serialOn, pooledOn, pooledOff} {
+		r.Prefetch(r.namedCells(cfgs, wls)...)
+	}
+
+	for _, w := range wls {
+		for _, cfg := range cfgs {
+			on1, on8, off8 := serialOn.Run(cfg, w), pooledOn.Run(cfg, w), pooledOff.Run(cfg, w)
+			if !reflect.DeepEqual(on1, on8) {
+				t.Fatalf("%s|%s: recording on, workers 1 vs 8 differ", cfg, w.Name)
+			}
+			if !reflect.DeepEqual(on1, off8) {
+				t.Fatalf("%s|%s: recording on vs off differ", cfg, w.Name)
+			}
+		}
+	}
+
+	// The exported series must be deterministic too, byte for byte, in
+	// both formats.
+	for _, format := range []string{"json", "csv"} {
+		var a, b bytes.Buffer
+		if err := serialOn.WriteMetrics(&a, format); err != nil {
+			t.Fatal(err)
+		}
+		if err := pooledOn.WriteMetrics(&b, format); err != nil {
+			t.Fatal(err)
+		}
+		if a.Len() == 0 {
+			t.Fatalf("%s export is empty with recording on", format)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("%s metrics export differs between workers 1 and 8", format)
+		}
+	}
+
+	// One series per executed simulation, keyed by memoization key.
+	ms := pooledOn.Metrics()
+	if want := len(cfgs) * len(wls); len(ms) != want {
+		t.Fatalf("recorded %d series, want %d", len(ms), want)
+	}
+	for key, s := range ms {
+		if len(s.Epochs) == 0 {
+			t.Fatalf("series %q has no epochs", key)
+		}
+		if s.EpochCycles != 25_000 {
+			t.Fatalf("series %q sampled every %d cycles, want 25000", key, s.EpochCycles)
+		}
+	}
+	if pooledOff.TotalCycles() == 0 || pooledOn.TotalCycles() != serialOn.TotalCycles() {
+		t.Fatalf("TotalCycles mismatch: serial %d, pooled %d",
+			serialOn.TotalCycles(), pooledOn.TotalCycles())
+	}
+
+	// WriteMetrics rejects unknown formats instead of guessing.
+	if err := serialOn.WriteMetrics(&bytes.Buffer{}, "xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

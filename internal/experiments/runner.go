@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -14,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"dice/internal/dcache"
+	"dice/internal/obs"
 	"dice/internal/parallel"
 	"dice/internal/sim"
 	"dice/internal/stats"
@@ -47,9 +50,20 @@ type Runner struct {
 	FaultSeed   uint64
 	FaultPolicy string
 
-	mu    sync.Mutex
-	cache map[string]*flight
-	sims  atomic.Int64
+	// MetricsEpoch, when nonzero, attaches an epoch-metrics recorder
+	// (sampling every MetricsEpoch cycles) to every simulation this
+	// runner executes; the collected series are retrievable with Metrics
+	// and exportable with WriteMetrics. Recording never changes results:
+	// sim.RunObserved is read-only with respect to the simulation.
+	MetricsEpoch uint64
+	// MetricsCap bounds each recording's epoch ring (0 = obs.DefaultRingCap).
+	MetricsCap int
+
+	mu      sync.Mutex
+	cache   map[string]*flight
+	metrics map[string]obs.Series
+	sims    atomic.Int64
+	cycles  atomic.Uint64
 
 	logOnce sync.Once
 	log     *parallel.Logger
@@ -72,6 +86,55 @@ func NewRunner(refsPerCore int) *Runner {
 // Sims reports how many simulations actually executed (memoized recalls
 // and singleflight waits excluded).
 func (r *Runner) Sims() int64 { return r.sims.Load() }
+
+// TotalCycles reports the simulated cycles summed over every executed
+// simulation — the denominator for allocs-per-simulated-tick self-stats.
+func (r *Runner) TotalCycles() uint64 { return r.cycles.Load() }
+
+// Metrics returns a copy of the epoch series recorded so far, keyed by
+// memoization key ("<config>|<workload>"). Empty unless MetricsEpoch
+// was set before the runs executed.
+func (r *Runner) Metrics() map[string]obs.Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]obs.Series, len(r.metrics))
+	for k, v := range r.metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteMetrics exports every recorded epoch series to w in the given
+// format ("json" or "csv"), in sorted key order so the bytes are
+// deterministic. CSV output separates series with "# <key>" comment
+// lines; JSON output is one object keyed by memoization key.
+func (r *Runner) WriteMetrics(w io.Writer, format string) error {
+	ms := r.Metrics()
+	keys := make([]string, 0, len(ms))
+	for k := range ms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	switch format {
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ms) // map keys marshal in sorted order
+	case "csv":
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "# %s\n", k); err != nil {
+				return err
+			}
+			s := ms[k]
+			if err := s.WriteCSV(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("experiments: unknown metrics format %q (want json or csv)", format)
+	}
+}
 
 // logf emits one line-atomic progress message when Verbose is set.
 func (r *Runner) logf(format string, args ...any) {
@@ -186,7 +249,11 @@ func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim
 		}
 		close(f.done)
 	}()
-	res, err := sim.Run(cfg, w)
+	var ob *obs.Observer
+	if r.MetricsEpoch > 0 {
+		ob = &obs.Observer{Rec: obs.NewRecorder(r.MetricsEpoch, r.MetricsCap)}
+	}
+	res, err := sim.RunObserved(cfg, w, ob)
 	if err != nil {
 		// Experiment configs are internal code, not user input: a bad one
 		// is a programming error, and panicking keeps the singleflight
@@ -195,6 +262,15 @@ func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim
 	}
 	f.res = res
 	r.sims.Add(1)
+	r.cycles.Add(res.Cycles)
+	if ob != nil {
+		r.mu.Lock()
+		if r.metrics == nil {
+			r.metrics = make(map[string]obs.Series)
+		}
+		r.metrics[key] = ob.Rec.Series()
+		r.mu.Unlock()
+	}
 	if cut := strings.IndexByte(key, '|'); cut >= 0 {
 		r.logf("  ran %-12s %-10s L4hit=%.2f L3hit=%.2f\n",
 			key[:cut], w.Name, f.res.L4.HitRate(), f.res.L3.HitRate())
@@ -341,6 +417,7 @@ func All() []Experiment {
 		{"ablate-index", "Ablation: NSI vs BAI vs DICE indexing", AblationIndexing, ablateIndexCells},
 		{"ablate-compress", "Ablation: FPC-only vs BDI-only vs hybrid", AblationCompressor, ablateCompressCells},
 		{"ablate-mlp", "Ablation: core MLP-window sensitivity", AblationMLP, ablateMLPCells},
+		{"metrics-demo", "Observability demo: epoch metrics schema", MetricsDemo, metricsDemoCells},
 	}
 }
 

@@ -1,0 +1,328 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeSnapshot builds a fully-populated snapshot with value-bearing
+// fields derived from i, including awkward floats that must survive a
+// lossless round-trip.
+func fakeSnapshot(i int) Snapshot {
+	f := float64(i)
+	return Snapshot{
+		Refs:             uint64(1000 + i),
+		IPC:              1.0/3.0 + f,
+		CoreIPC:          []float64{f + 0.1, f + 0.2, math.Pi * f},
+		L4Reads:          uint64(10 * i),
+		L4HitRate:        1 / (f + 2),
+		L4Queue:          uint64(i),
+		L4BusUtil:        0.5 + f/1000,
+		L4BytesPerAccess: 96.5,
+		DDRReads:         uint64(3 * i),
+		DDRWrites:        uint64(i / 2),
+		DDRQueue:         uint64(i % 5),
+		DDRBusUtil:       f / 7,
+		EffCapacity:      1.37,
+		InstallBAI:       uint64(i),
+		InstallTSI:       uint64(2 * i),
+		InstallInvariant: uint64(3 * i),
+		CIPBAIFrac:       f / 13,
+		CIPPolicyBAI:     uint64(i % 2),
+		CIPAccuracy:      0.93,
+		CIPPredictions:   uint64(100 * i),
+		CIPFlips:         uint64(i),
+		FaultCorrected:   uint64(i),
+		FaultDetected:    uint64(i + 1),
+		FaultSilent:      uint64(i + 2),
+		FaultRefetches:   uint64(i + 3),
+		QuarantinedSets:  uint64(i % 3),
+	}
+}
+
+// recordSeries pushes n fake snapshots through a recorder and returns
+// its series.
+func recordSeries(t *testing.T, epoch uint64, cap, n int) Series {
+	t.Helper()
+	r := NewRecorder(epoch, cap)
+	for i := 0; i < n; i++ {
+		r.Record(fakeSnapshot(i))
+	}
+	return r.Series()
+}
+
+// TestExportRoundTrip checks that both export formats reconstruct the
+// recorded snapshots exactly — CSV relies on the lossless float
+// formatting, JSON on the schema tags.
+func TestExportRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		write  func(Series, *bytes.Buffer) error
+		read   func(*bytes.Buffer) (Series, error)
+		series Series
+		// csvOnly marks fields CSV cannot carry (Dropped); JSON must.
+		lossy bool
+	}{
+		{"json-empty", func(s Series, b *bytes.Buffer) error { return s.WriteJSON(b) },
+			func(b *bytes.Buffer) (Series, error) { return ReadJSON(b) },
+			recordSeries(t, 100, 8, 0), false},
+		{"json-small", func(s Series, b *bytes.Buffer) error { return s.WriteJSON(b) },
+			func(b *bytes.Buffer) (Series, error) { return ReadJSON(b) },
+			recordSeries(t, 100, 8, 5), false},
+		{"json-overflowed", func(s Series, b *bytes.Buffer) error { return s.WriteJSON(b) },
+			func(b *bytes.Buffer) (Series, error) { return ReadJSON(b) },
+			recordSeries(t, 7, 4, 9), false},
+		{"csv-small", func(s Series, b *bytes.Buffer) error { return s.WriteCSV(b) },
+			func(b *bytes.Buffer) (Series, error) { return ReadCSV(b) },
+			recordSeries(t, 100, 8, 5), true},
+		{"csv-overflowed", func(s Series, b *bytes.Buffer) error { return s.WriteCSV(b) },
+			func(b *bytes.Buffer) (Series, error) { return ReadCSV(b) },
+			recordSeries(t, 7, 4, 9), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b bytes.Buffer
+			if err := tc.write(tc.series, &b); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			got, err := tc.read(&b)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if !reflect.DeepEqual(got.Epochs, tc.series.Epochs) {
+				t.Fatalf("epochs did not round-trip:\ngot  %+v\nwant %+v", got.Epochs, tc.series.Epochs)
+			}
+			if got.SchemaVersion != tc.series.SchemaVersion {
+				t.Fatalf("schema version %d, want %d", got.SchemaVersion, tc.series.SchemaVersion)
+			}
+			if !tc.lossy {
+				if got.Dropped != tc.series.Dropped || got.EpochCycles != tc.series.EpochCycles {
+					t.Fatalf("metadata did not round-trip: got %+v want %+v", got, tc.series)
+				}
+			}
+		})
+	}
+}
+
+// TestRecorderRingOverflow fills a tiny ring past capacity and checks
+// flight-recorder semantics: the most recent snapshots survive, the
+// drop count is exact, and epoch stamping keeps counting.
+func TestRecorderRingOverflow(t *testing.T) {
+	r := NewRecorder(50, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(fakeSnapshot(i))
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped %d, want 6", got)
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 4 {
+		t.Fatalf("retained %d snapshots, want 4", len(snaps))
+	}
+	for i, s := range snaps {
+		wantEpoch := uint64(6 + i)
+		if s.Epoch != wantEpoch {
+			t.Fatalf("snapshot %d has epoch %d, want %d", i, s.Epoch, wantEpoch)
+		}
+		if want := (wantEpoch + 1) * 50; s.EndCycle != want {
+			t.Fatalf("snapshot %d ends at %d, want %d", i, s.EndCycle, want)
+		}
+	}
+}
+
+// TestRecorderDue checks boundary arithmetic, including several
+// boundaries crossed by one time jump, and nil safety.
+func TestRecorderDue(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Due(1 << 40) {
+		t.Fatal("nil recorder must never be due")
+	}
+	r := NewRecorder(100, 8)
+	if r.Due(99) {
+		t.Fatal("due before first boundary")
+	}
+	// A jump past three boundaries drains three records.
+	n := 0
+	for r.Due(350) {
+		r.Record(Snapshot{})
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("drained %d boundaries, want 3", n)
+	}
+	if r.Boundary() != 400 {
+		t.Fatalf("next boundary %d, want 400", r.Boundary())
+	}
+}
+
+// TestTracerFilter checks that enabling "cip,fault" collects exactly
+// those components' events and Enabled gates the rest.
+func TestTracerFilter(t *testing.T) {
+	tr, err := NewTracer("cip,fault", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []Component{CompCIP, CompFault, CompDCache, CompDRAM, CompSim}
+	for i, c := range all {
+		if want := c == CompCIP || c == CompFault; tr.Enabled(c) != want {
+			t.Fatalf("Enabled(%v) = %v, want %v", c, tr.Enabled(c), want)
+		}
+		tr.Emit(uint64(i), c, "kind", "detail")
+		tr.Emitf(uint64(i), c, "kindf", "i=%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("collected %d events, want 4 (2 components x 2 emits)", len(evs))
+	}
+	for _, e := range evs {
+		if e.Comp != CompCIP && e.Comp != CompFault {
+			t.Fatalf("event from disabled component %v leaked through", e.Comp)
+		}
+	}
+
+	var nilTr *Tracer
+	if nilTr.Enabled(CompCIP) {
+		t.Fatal("nil tracer must report disabled")
+	}
+	nilTr.Emit(0, CompCIP, "k", "d") // must not panic
+}
+
+// TestTracerParseAndOverflow covers component-list parsing (including
+// errors) and the bounded log's drop accounting.
+func TestTracerParseAndOverflow(t *testing.T) {
+	if _, err := ParseComponents("cip,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want error naming the bad component, got %v", err)
+	}
+	mask, err := ParseComponents("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := Component(0); c < numComponents; c++ {
+		if mask&(1<<c) == 0 {
+			t.Fatalf("'all' must enable %v", c)
+		}
+	}
+
+	tr, err := NewTracer("all", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Emitf(uint64(i), CompSim, "tick", "%d", i)
+	}
+	if tr.Dropped() != 5 {
+		t.Fatalf("dropped %d, want 5", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 3 || evs[0].Detail != "5" || evs[2].Detail != "7" {
+		t.Fatalf("ring should retain the newest 3 events, got %v", evs)
+	}
+	var b bytes.Buffer
+	if err := tr.WriteTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "5 dropped") {
+		t.Fatalf("timeline should note drops:\n%s", b.String())
+	}
+}
+
+// TestMetricsDocCoversSchema enumerates the export schema and greps
+// METRICS.md for each field, so the reference doc cannot silently
+// drift from the code. Trace components and event kinds must be
+// documented too.
+func TestMetricsDocCoversSchema(t *testing.T) {
+	doc, err := os.ReadFile("../../METRICS.md")
+	if err != nil {
+		t.Fatalf("METRICS.md must exist at the repo root: %v", err)
+	}
+	text := string(doc)
+	fields := SchemaFields()
+	if len(fields) == 0 {
+		t.Fatal("schema has no fields")
+	}
+	for _, f := range fields {
+		if !strings.Contains(text, "`"+f+"`") {
+			t.Errorf("METRICS.md does not document schema field `%s`", f)
+		}
+	}
+	for _, top := range []string{"schema_version", "epoch_cycles", "dropped", "epochs"} {
+		if !strings.Contains(text, "`"+top+"`") {
+			t.Errorf("METRICS.md does not document series field `%s`", top)
+		}
+	}
+	for c := Component(0); c < numComponents; c++ {
+		if !strings.Contains(text, "`"+c.String()+"`") {
+			t.Errorf("METRICS.md does not document trace component `%s`", c)
+		}
+	}
+}
+
+// TestSchemaFieldsMatchCSVHeader pins the CSV column order to the
+// schema declaration order (with core_ipc flattened).
+func TestSchemaFieldsMatchCSVHeader(t *testing.T) {
+	var want []string
+	for _, f := range SchemaFields() {
+		if f == "core_ipc" {
+			want = append(want, "core_ipc0", "core_ipc1")
+			continue
+		}
+		want = append(want, f)
+	}
+	if got := csvHeader(2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("csvHeader(2) = %v, want %v", got, want)
+	}
+}
+
+// TestSelfSampleMonotone sanity-checks the runtime/metrics plumbing:
+// allocating between two captures must move the counters forward.
+func TestSelfSampleMonotone(t *testing.T) {
+	before := CaptureSelf()
+	sink := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	after := CaptureSelf()
+	if after.AllocBytes <= before.AllocBytes || after.AllocObjects <= before.AllocObjects {
+		t.Fatalf("allocation counters did not advance: %+v -> %+v", before, after)
+	}
+	rep := SelfReport(before, after, 2_000_000)
+	if !strings.Contains(rep, "per M-tick") {
+		t.Fatalf("normalized report missing rate: %q", rep)
+	}
+	if rep0 := SelfReport(before, after, 0); strings.Contains(rep0, "per M-tick") {
+		t.Fatalf("zero-tick report must omit rates: %q", rep0)
+	}
+}
+
+// TestRecorderValidation pins constructor error behavior.
+func TestRecorderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRecorder(0, ...) must panic")
+		}
+	}()
+	NewRecorder(0, 4)
+}
+
+// TestCSVHeaderMismatch checks that a CSV with a foreign header is
+// rejected rather than misparsed.
+func TestCSVHeaderMismatch(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n"))
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("want header mismatch error, got %v", err)
+	}
+}
+
+// Example of the event rendering format, pinned because operators
+// grep these lines.
+func ExampleEvent_String() {
+	e := Event{Cycle: 123456, Comp: CompCIP, Kind: "flip", Detail: "page 0x1f -> BAI"}
+	fmt.Println(e.String())
+	// Output: [      123456] cip    flip             page 0x1f -> BAI
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins a CPU profile written to path and returns a
+// stop function that ends the profile and closes the file. Wire it to
+// a CLI's -cpuprofile flag:
+//
+//	stop, err := obs.StartCPUProfile(*cpuprofile)
+//	defer stop()
+func StartCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation (heap) profile to path, after
+// a GC so the profile reflects live objects. Wire it to a CLI's
+// -memprofile flag at exit.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// SelfSample is a point-in-time capture of the Go runtime's own
+// allocation and GC counters (via runtime/metrics). Two samples
+// bracket a run; SelfReport turns their difference into the
+// simulator's self-cost summary.
+type SelfSample struct {
+	// AllocBytes is cumulative heap bytes allocated (/gc/heap/allocs:bytes).
+	AllocBytes uint64
+	// AllocObjects is cumulative heap objects allocated (/gc/heap/allocs:objects).
+	AllocObjects uint64
+	// GCCycles is cumulative completed GC cycles (/gc/cycles/total:gc-cycles).
+	GCCycles uint64
+}
+
+// selfMetricNames are the runtime/metrics keys CaptureSelf reads, in
+// SelfSample field order.
+var selfMetricNames = []string{
+	"/gc/heap/allocs:bytes",
+	"/gc/heap/allocs:objects",
+	"/gc/cycles/total:gc-cycles",
+}
+
+// CaptureSelf reads the runtime's current allocation and GC counters.
+func CaptureSelf() SelfSample {
+	samples := make([]metrics.Sample, len(selfMetricNames))
+	for i, n := range selfMetricNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	var s SelfSample
+	vals := make([]uint64, len(samples))
+	for i, m := range samples {
+		if m.Value.Kind() == metrics.KindUint64 {
+			vals[i] = m.Value.Uint64()
+		}
+	}
+	s.AllocBytes, s.AllocObjects, s.GCCycles = vals[0], vals[1], vals[2]
+	return s
+}
+
+// SelfReport renders the runtime cost between two samples, normalized
+// per million simulated ticks (simTicks is the summed simulated-cycle
+// count of the work in between; 0 suppresses the normalized figures).
+func SelfReport(before, after SelfSample, simTicks uint64) string {
+	db := after.AllocBytes - before.AllocBytes
+	do := after.AllocObjects - before.AllocObjects
+	dg := after.GCCycles - before.GCCycles
+	if simTicks == 0 {
+		return fmt.Sprintf("self: allocated %.1fMB in %d objects, %d GC cycles",
+			float64(db)/(1<<20), do, dg)
+	}
+	mt := float64(simTicks) / 1e6
+	return fmt.Sprintf("self: allocated %.1fMB in %d objects, %d GC cycles over %.1fM simulated ticks (%.1fKB, %.0f objects per M-tick)",
+		float64(db)/(1<<20), do, dg, mt, float64(db)/1024/mt, float64(do)/mt)
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one epoch's metrics sample. Counter-style fields
+// (cycles, refs, reads, installs, fault counts, cip_predictions) are
+// per-epoch deltas; gauge-style fields (queue depths, eff_capacity,
+// cip_bai_frac, quarantined_sets) are point-in-time values at the
+// epoch boundary; rate/accuracy fields are computed over the epoch
+// unless noted. METRICS.md documents every field; the obs tests
+// enforce that the document and this struct never drift apart.
+type Snapshot struct {
+	// Epoch is the zero-based epoch index.
+	Epoch uint64 `json:"epoch"`
+	// EndCycle is the simulated cycle of the epoch boundary.
+	EndCycle uint64 `json:"end_cycle"`
+	// Cycles is the epoch length in simulated cycles.
+	Cycles uint64 `json:"cycles"`
+	// Refs is the number of memory references processed this epoch.
+	Refs uint64 `json:"refs"`
+	// IPC is the aggregate instructions-per-cycle over the epoch.
+	IPC float64 `json:"ipc"`
+	// CoreIPC is the per-core IPC over the epoch.
+	CoreIPC []float64 `json:"core_ipc"`
+	// L4Reads is the number of L4 demand reads this epoch.
+	L4Reads uint64 `json:"l4_reads"`
+	// L4HitRate is the L4 demand-read hit rate over the epoch.
+	L4HitRate float64 `json:"l4_hit_rate"`
+	// L4Queue is the stacked-DRAM in-flight request count at the boundary.
+	L4Queue uint64 `json:"l4_queue"`
+	// L4BusUtil is the stacked-DRAM data-bus utilization over the epoch.
+	L4BusUtil float64 `json:"l4_bus_util"`
+	// L4BytesPerAccess is stacked-DRAM bytes moved per access this epoch.
+	L4BytesPerAccess float64 `json:"l4_bytes_per_access"`
+	// DDRReads is the main-memory read count this epoch.
+	DDRReads uint64 `json:"ddr_reads"`
+	// DDRWrites is the main-memory write count this epoch.
+	DDRWrites uint64 `json:"ddr_writes"`
+	// DDRQueue is the main-memory in-flight request count at the boundary.
+	DDRQueue uint64 `json:"ddr_queue"`
+	// DDRBusUtil is the main-memory data-bus utilization over the epoch.
+	DDRBusUtil float64 `json:"ddr_bus_util"`
+	// EffCapacity is the L4 effective-capacity multiplier at the boundary.
+	EffCapacity float64 `json:"eff_capacity"`
+	// InstallBAI counts BAI-indexed installs this epoch.
+	InstallBAI uint64 `json:"install_bai"`
+	// InstallTSI counts TSI-indexed installs this epoch.
+	InstallTSI uint64 `json:"install_tsi"`
+	// InstallInvariant counts index-invariant installs this epoch.
+	InstallInvariant uint64 `json:"install_invariant"`
+	// CIPBAIFrac is the fraction of CIP Last-Time-Table entries
+	// currently predicting BAI — the PSEL-analogue policy bias.
+	CIPBAIFrac float64 `json:"cip_bai_frac"`
+	// CIPPolicyBAI is 1 when the predictor's current dominant indexing
+	// policy is BAI (CIPBAIFrac >= 0.5), else 0.
+	CIPPolicyBAI uint64 `json:"cip_policy_bai"`
+	// CIPAccuracy is the cumulative CIP prediction accuracy so far.
+	CIPAccuracy float64 `json:"cip_accuracy"`
+	// CIPPredictions counts scored CIP predictions this epoch.
+	CIPPredictions uint64 `json:"cip_predictions"`
+	// CIPFlips counts Last-Time-Table entries that changed value this
+	// epoch (a page's indexing policy flipped).
+	CIPFlips uint64 `json:"cip_flips"`
+	// FaultCorrected counts ECC-corrected words this epoch.
+	FaultCorrected uint64 `json:"fault_corrected"`
+	// FaultDetected counts detected-uncorrectable words this epoch.
+	FaultDetected uint64 `json:"fault_detected"`
+	// FaultSilent counts silently corrupt words this epoch.
+	FaultSilent uint64 `json:"fault_silent"`
+	// FaultRefetches counts would-be hits converted to main-memory
+	// refetches by faults this epoch.
+	FaultRefetches uint64 `json:"fault_refetches"`
+	// QuarantinedSets is the number of quarantined L4 sets at the boundary.
+	QuarantinedSets uint64 `json:"quarantined_sets"`
+}
+
+// SchemaFields returns the JSON field names of the epoch snapshot
+// schema, in declaration order. METRICS.md must document every one;
+// the metrics-demo golden pins the list so schema drift is visible in
+// review.
+func SchemaFields() []string {
+	t := reflect.TypeOf(Snapshot{})
+	fields := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" {
+			fields = append(fields, name)
+		}
+	}
+	return fields
+}
+
+// DefaultRingCap is the default epoch-ring capacity. At ~300B per
+// snapshot the ring's memory bound is ~1.2MB regardless of run length:
+// once full, the oldest epochs are dropped (and counted) rather than
+// growing without bound.
+const DefaultRingCap = 4096
+
+// Recorder samples epoch metrics into a bounded ring. It is attached
+// to exactly one simulation and used from that simulation's goroutine
+// only (like fault.Model, it is not safe for concurrent use). The
+// recorder never mutates simulated state: the sim layer copies its
+// component statistics into a Snapshot and hands it over.
+type Recorder struct {
+	epoch   uint64
+	next    uint64
+	count   uint64
+	dropped uint64
+
+	ring []Snapshot
+	head int
+	n    int
+}
+
+// NewRecorder returns a recorder sampling every epochCycles of
+// simulated time into a ring of ringCap snapshots (ringCap <= 0
+// selects DefaultRingCap). It panics if epochCycles is zero.
+func NewRecorder(epochCycles uint64, ringCap int) *Recorder {
+	if epochCycles == 0 {
+		panic("obs: epochCycles must be positive")
+	}
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Recorder{epoch: epochCycles, next: epochCycles, ring: make([]Snapshot, ringCap)}
+}
+
+// EpochCycles returns the sampling period in simulated cycles.
+func (r *Recorder) EpochCycles() uint64 { return r.epoch }
+
+// Due reports whether simulated time now has reached the next epoch
+// boundary. Safe on a nil receiver (never due).
+func (r *Recorder) Due(now uint64) bool { return r != nil && now >= r.next }
+
+// Boundary returns the cycle of the next epoch boundary.
+func (r *Recorder) Boundary() uint64 { return r.next }
+
+// Record appends one snapshot, stamping its epoch index and boundary
+// cycle, and advances the boundary. When the ring is full the oldest
+// snapshot is dropped and counted in Dropped.
+func (r *Recorder) Record(s Snapshot) {
+	s.Epoch = r.count
+	s.EndCycle = r.next
+	s.Cycles = r.epoch
+	r.count++
+	r.next += r.epoch
+	if r.n == len(r.ring) {
+		r.ring[r.head] = s
+		r.head = (r.head + 1) % len(r.ring)
+		r.dropped++
+		return
+	}
+	r.ring[(r.head+r.n)%len(r.ring)] = s
+	r.n++
+}
+
+// Dropped returns how many snapshots the full ring has discarded.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Snapshots returns the retained snapshots in chronological order.
+func (r *Recorder) Snapshots() []Snapshot {
+	out := make([]Snapshot, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.ring[(r.head+i)%len(r.ring)]
+	}
+	return out
+}
+
+// Series returns the recorder's contents as an exportable value.
+func (r *Recorder) Series() Series {
+	return Series{
+		SchemaVersion: SchemaVersion,
+		EpochCycles:   r.epoch,
+		Dropped:       r.dropped,
+		Epochs:        r.Snapshots(),
+	}
+}
+
+// SchemaVersion identifies the epoch-series export schema; bump it
+// when Snapshot fields change incompatibly.
+const SchemaVersion = 1
+
+// Series is the exportable form of one run's epoch metrics.
+type Series struct {
+	// SchemaVersion identifies the snapshot schema of Epochs.
+	SchemaVersion int `json:"schema_version"`
+	// EpochCycles is the sampling period in simulated cycles.
+	EpochCycles uint64 `json:"epoch_cycles"`
+	// Dropped counts epochs lost to ring overflow (the oldest ones).
+	Dropped uint64 `json:"dropped"`
+	// Epochs holds the retained snapshots in chronological order.
+	Epochs []Snapshot `json:"epochs"`
+}
+
+// WriteJSON writes the series as indented JSON.
+func (s Series) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON parses a series previously written by WriteJSON.
+func ReadJSON(r io.Reader) (Series, error) {
+	var s Series
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return Series{}, fmt.Errorf("obs: parsing series JSON: %w", err)
+	}
+	return s, nil
+}
+
+// csvHeader returns the flattened CSV column names: the schema fields
+// with core_ipc expanded to one column per core.
+func csvHeader(cores int) []string {
+	var cols []string
+	for _, f := range SchemaFields() {
+		if f == "core_ipc" {
+			for i := 0; i < cores; i++ {
+				cols = append(cols, fmt.Sprintf("core_ipc%d", i))
+			}
+			continue
+		}
+		cols = append(cols, f)
+	}
+	return cols
+}
+
+// fu formats a uint64 losslessly for CSV.
+func fu(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// ff formats a float64 so that parsing it back returns the identical
+// value (shortest round-trip representation).
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes the series as CSV: one header row, one row per
+// epoch, with the per-core IPC vector flattened into core_ipcN
+// columns. Numbers are formatted losslessly, so ReadCSV reconstructs
+// the exact snapshots.
+func (s Series) WriteCSV(w io.Writer) error {
+	cores := 0
+	if len(s.Epochs) > 0 {
+		cores = len(s.Epochs[0].CoreIPC)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader(cores)); err != nil {
+		return err
+	}
+	for _, e := range s.Epochs {
+		row := []string{fu(e.Epoch), fu(e.EndCycle), fu(e.Cycles), fu(e.Refs), ff(e.IPC)}
+		for _, ipc := range e.CoreIPC {
+			row = append(row, ff(ipc))
+		}
+		row = append(row,
+			fu(e.L4Reads), ff(e.L4HitRate), fu(e.L4Queue), ff(e.L4BusUtil), ff(e.L4BytesPerAccess),
+			fu(e.DDRReads), fu(e.DDRWrites), fu(e.DDRQueue), ff(e.DDRBusUtil),
+			ff(e.EffCapacity),
+			fu(e.InstallBAI), fu(e.InstallTSI), fu(e.InstallInvariant),
+			ff(e.CIPBAIFrac), fu(e.CIPPolicyBAI), ff(e.CIPAccuracy), fu(e.CIPPredictions), fu(e.CIPFlips),
+			fu(e.FaultCorrected), fu(e.FaultDetected), fu(e.FaultSilent), fu(e.FaultRefetches),
+			fu(e.QuarantinedSets))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a series previously written by WriteCSV. Only the
+// epoch rows survive a CSV round-trip; SchemaVersion, EpochCycles and
+// Dropped are derived (version current, period from the first two
+// rows, dropped unknown and left zero).
+func ReadCSV(r io.Reader) (Series, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return Series{}, fmt.Errorf("obs: parsing series CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return Series{}, fmt.Errorf("obs: series CSV has no header")
+	}
+	header := rows[0]
+	cores := 0
+	for _, c := range header {
+		if strings.HasPrefix(c, "core_ipc") {
+			cores++
+		}
+	}
+	if want := csvHeader(cores); !reflect.DeepEqual(header, want) {
+		return Series{}, fmt.Errorf("obs: series CSV header %v does not match schema %v", header, want)
+	}
+	s := Series{SchemaVersion: SchemaVersion}
+	for _, row := range rows[1:] {
+		e, err := parseCSVRow(row, cores)
+		if err != nil {
+			return Series{}, err
+		}
+		s.Epochs = append(s.Epochs, e)
+	}
+	if len(s.Epochs) > 0 {
+		s.EpochCycles = s.Epochs[0].Cycles
+	}
+	return s, nil
+}
+
+// parseCSVRow parses one epoch row in WriteCSV's column order.
+func parseCSVRow(row []string, cores int) (Snapshot, error) {
+	var e Snapshot
+	i := 0
+	next := func() string { v := row[i]; i++; return v }
+	var err error
+	u := func() uint64 {
+		if err != nil {
+			return 0
+		}
+		var v uint64
+		v, err = strconv.ParseUint(next(), 10, 64)
+		return v
+	}
+	f := func() float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(next(), 64)
+		return v
+	}
+	e.Epoch, e.EndCycle, e.Cycles, e.Refs, e.IPC = u(), u(), u(), u(), f()
+	for c := 0; c < cores; c++ {
+		e.CoreIPC = append(e.CoreIPC, f())
+	}
+	e.L4Reads, e.L4HitRate, e.L4Queue, e.L4BusUtil, e.L4BytesPerAccess = u(), f(), u(), f(), f()
+	e.DDRReads, e.DDRWrites, e.DDRQueue, e.DDRBusUtil = u(), u(), u(), f()
+	e.EffCapacity = f()
+	e.InstallBAI, e.InstallTSI, e.InstallInvariant = u(), u(), u()
+	e.CIPBAIFrac, e.CIPPolicyBAI, e.CIPAccuracy, e.CIPPredictions, e.CIPFlips = f(), u(), f(), u(), u()
+	e.FaultCorrected, e.FaultDetected, e.FaultSilent, e.FaultRefetches = u(), u(), u(), u()
+	e.QuarantinedSets = u()
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parsing series CSV row: %w", err)
+	}
+	return e, nil
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Component identifies which simulator component emitted an event.
+// Components double as the trace level system: enabling a component
+// enables all of its events, so `-trace-events cip,fault` is both a
+// filter and a verbosity control.
+type Component uint8
+
+// Trace components.
+const (
+	// CompCIP traces Cache Index Predictor activity (policy flips).
+	CompCIP Component = iota
+	// CompFault traces fault-injection outcomes (detected frames,
+	// checksum catches, silent hits).
+	CompFault
+	// CompDCache traces DRAM-cache structural events (set flushes,
+	// quarantines).
+	CompDCache
+	// CompDRAM traces DRAM device events (row-buffer conflict runs
+	// over threshold).
+	CompDRAM
+	// CompSim traces simulator phase events (measurement start).
+	CompSim
+
+	// numComponents bounds the component space.
+	numComponents
+)
+
+// String names the component with the spelling ParseComponents accepts.
+func (c Component) String() string {
+	switch c {
+	case CompCIP:
+		return "cip"
+	case CompFault:
+		return "fault"
+	case CompDCache:
+		return "dcache"
+	case CompDRAM:
+		return "dram"
+	case CompSim:
+		return "sim"
+	default:
+		return fmt.Sprintf("component(%d)", uint8(c))
+	}
+}
+
+// ParseComponents resolves a comma-separated component list ("cip,fault")
+// into an enable mask. "all" enables every component; the empty string
+// enables none.
+func ParseComponents(s string) (uint32, error) {
+	var mask uint32
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "":
+		case "all":
+			mask |= 1<<numComponents - 1
+		case "cip":
+			mask |= 1 << CompCIP
+		case "fault":
+			mask |= 1 << CompFault
+		case "dcache":
+			mask |= 1 << CompDCache
+		case "dram":
+			mask |= 1 << CompDRAM
+		case "sim":
+			mask |= 1 << CompSim
+		default:
+			return 0, fmt.Errorf("obs: unknown trace component %q (have cip, fault, dcache, dram, sim, all)", name)
+		}
+	}
+	return mask, nil
+}
+
+// Event is one structured trace record.
+type Event struct {
+	// Cycle is the simulated cycle the event occurred at.
+	Cycle uint64
+	// Comp identifies the emitting component.
+	Comp Component
+	// Kind is the event type within the component (e.g. "flip", "flush").
+	Kind string
+	// Detail is the human-readable payload.
+	Detail string
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	return fmt.Sprintf("[%12d] %-6s %-16s %s", e.Cycle, e.Comp, e.Kind, e.Detail)
+}
+
+// DefaultTraceCap is the default bounded event-log capacity. Like the
+// epoch ring, a full log drops its oldest events (flight-recorder
+// semantics) and counts them, bounding trace memory regardless of run
+// length.
+const DefaultTraceCap = 8192
+
+// Tracer is a bounded, component-filtered event log. Like Recorder it
+// belongs to exactly one simulation and is used from that simulation's
+// goroutine only. Emission sites guard with Enabled before formatting,
+// so a disabled component costs one inlined mask test.
+type Tracer struct {
+	mask    uint32
+	ring    []Event
+	head    int
+	n       int
+	dropped uint64
+}
+
+// NewTracer returns a tracer enabling the given components
+// (ParseComponents syntax) with a ring of cap events (cap <= 0 selects
+// DefaultTraceCap).
+func NewTracer(components string, cap int) (*Tracer, error) {
+	mask, err := ParseComponents(components)
+	if err != nil {
+		return nil, err
+	}
+	if cap <= 0 {
+		cap = DefaultTraceCap
+	}
+	return &Tracer{mask: mask, ring: make([]Event, cap)}, nil
+}
+
+// Enabled reports whether component c's events are being collected.
+// Safe on a nil receiver (always false), so call sites need no
+// additional nil guard.
+func (t *Tracer) Enabled(c Component) bool {
+	return t != nil && t.mask&(1<<c) != 0
+}
+
+// Emit records one event if its component is enabled. Callers on hot
+// paths should guard with Enabled before building Detail, so the
+// disabled path never formats.
+func (t *Tracer) Emit(cycle uint64, c Component, kind, detail string) {
+	if !t.Enabled(c) {
+		return
+	}
+	e := Event{Cycle: cycle, Comp: c, Kind: kind, Detail: detail}
+	if t.n == len(t.ring) {
+		t.ring[t.head] = e
+		t.head = (t.head + 1) % len(t.ring)
+		t.dropped++
+		return
+	}
+	t.ring[(t.head+t.n)%len(t.ring)] = e
+	t.n++
+}
+
+// Emitf is Emit with deferred formatting: the format executes only
+// when the component is enabled.
+func (t *Tracer) Emitf(cycle uint64, c Component, kind, format string, args ...any) {
+	if !t.Enabled(c) {
+		return
+	}
+	t.Emit(cycle, c, kind, fmt.Sprintf(format, args...))
+}
+
+// Dropped returns how many events the full ring has discarded.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.head+i)%len(t.ring)]
+	}
+	return out
+}
+
+// WriteTimeline renders the retained events as a human-readable
+// timeline, noting how many earlier events the bounded log dropped.
+func (t *Tracer) WriteTimeline(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace: %d events (%d dropped by the bounded log)\n", t.n, t.dropped); err != nil {
+		return err
+	}
+	for i := 0; i < t.n; i++ {
+		if _, err := fmt.Fprintln(w, t.ring[(t.head+i)%len(t.ring)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

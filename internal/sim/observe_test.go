@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dice/internal/dcache"
+	"dice/internal/obs"
+	"dice/internal/workloads"
+)
+
+// TestRunObservedIsReadOnly is the observability determinism contract:
+// attaching a recorder and a full-component tracer must leave the
+// simulation result byte-identical to an unobserved run. Fault
+// injection is enabled so the fault/dcache trace paths (set flushes,
+// quarantines, refetches) execute during the check.
+func TestRunObservedIsReadOnly(t *testing.T) {
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := map[string]Config{
+		"dice":       {Policy: dcache.PolicyDICE, RefsPerCore: 4_000},
+		"dice-fault": {Policy: dcache.PolicyDICE, RefsPerCore: 4_000, FaultBER: 3e-3, FaultSeed: 7},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			plain, err := Run(cfg, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := obs.NewTracer("all", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ob := &obs.Observer{Rec: obs.NewRecorder(10_000, 0), Trace: tr}
+			observed, err := RunObserved(cfg, w, ob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, observed) {
+				t.Fatalf("observation changed the result:\n%+v\nvs\n%+v", plain, observed)
+			}
+			if len(ob.Rec.Snapshots()) == 0 {
+				t.Fatal("recorder attached but no epochs sampled")
+			}
+		})
+	}
+}
+
+// TestEpochSeriesShape sanity-checks the sampled series: regular time
+// axis, refs accounted, and the warmup measurement-start event
+// present when sim tracing is on.
+func TestEpochSeriesShape(t *testing.T) {
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Policy: dcache.PolicyDICE, RefsPerCore: 4_000}
+	tr, err := obs.NewTracer("sim", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := &obs.Observer{Rec: obs.NewRecorder(20_000, 0), Trace: tr}
+	if _, err := RunObserved(cfg, w, ob); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps := ob.Rec.Snapshots()
+	if len(snaps) < 2 {
+		t.Fatalf("want several epochs, got %d", len(snaps))
+	}
+	var refs uint64
+	for i, s := range snaps {
+		if s.Epoch != uint64(i) {
+			t.Fatalf("epoch %d stamped %d", i, s.Epoch)
+		}
+		if s.Cycles != 20_000 || s.EndCycle != uint64(i+1)*20_000 {
+			t.Fatalf("irregular time axis at epoch %d: %+v", i, s)
+		}
+		if len(s.CoreIPC) != cores {
+			t.Fatalf("epoch %d has %d core IPCs, want %d", i, len(s.CoreIPC), cores)
+		}
+		refs += s.Refs
+	}
+	// Epoch refs must account for (almost) the whole run — everything
+	// but the tail after the last boundary.
+	total := uint64(cfg.RefsPerCore) * cores * 3 / 2 // warmup 0.5 included
+	if refs > total || refs < total/2 {
+		t.Fatalf("epochs account for %d refs of %d run", refs, total)
+	}
+
+	evs := ob.Trace.Events()
+	if len(evs) != 1 || evs[0].Kind != "measurement-start" {
+		t.Fatalf("sim tracing should yield exactly the measurement-start event, got %v", evs)
+	}
+}

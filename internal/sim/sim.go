@@ -19,6 +19,7 @@ import (
 	"dice/internal/dram"
 	"dice/internal/energy"
 	"dice/internal/fault"
+	"dice/internal/obs"
 	"dice/internal/workloads"
 )
 
@@ -263,10 +264,21 @@ func (m *machine) Line(paLine uint64) []byte {
 // returns an error (never panics) on invalid configuration, so callers
 // assembling configs from flags or files get a clean failure.
 func Run(cfg Config, w workloads.Workload) (Result, error) {
+	return RunObserved(cfg, w, nil)
+}
+
+// RunObserved is Run with an optional observer attached: ob's recorder
+// samples epoch metrics and its tracer collects component events as
+// the simulation executes. Observation is strictly read-only — the
+// returned Result is byte-identical to Run's for the same (cfg, w),
+// with or without an observer, which the determinism tests enforce. A
+// nil observer makes RunObserved exactly Run.
+func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, error) {
 	cfg.setDefaults()
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	tr := ob.Tracer()
 
 	m := &machine{cfg: cfg, pageMap: make(map[uint64]uint64)}
 	m.insts = w.Build(cfg.ScaleShift)
@@ -280,8 +292,11 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 		hbmCfg.TRP /= 2
 		hbmCfg.TRAS /= 2
 	}
+	hbmCfg.Name, hbmCfg.Trace = "l4", tr
+	ddrCfg := dram.DDRConfig()
+	ddrCfg.Name, ddrCfg.Trace = "ddr", tr
 	m.hbm = dram.New(hbmCfg)
-	m.ddr = dram.New(dram.DDRConfig())
+	m.ddr = dram.New(ddrCfg)
 
 	sets := (fullL4Sets >> cfg.ScaleShift) * cfg.CapacityMult
 	if sets < 64 {
@@ -295,6 +310,7 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 		CIPEntries: cfg.CIPEntries,
 		Mem:        m.hbm,
 		Data:       m,
+		Trace:      tr,
 	}
 	switch cfg.CompressAlg {
 	case "":
@@ -365,6 +381,13 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 	}
 	heap.Init(&h)
 
+	// Epoch sampling rides the event loop's virtual clock: the popped
+	// core's clock is nondecreasing, so boundaries are crossed in order.
+	var et *epochTracker
+	if rec := ob.Recorder(); rec != nil {
+		et = newEpochTracker(rec, m, fm, cs)
+	}
+
 	// Phase bookkeeping. Each core's measured window starts when that
 	// core passes its own warmup point (cores proceed at very different
 	// rates under contention); shared-structure statistics reset once
@@ -381,6 +404,11 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 
 	for h.Len() > 0 {
 		c := heap.Pop(&h).(*core)
+		if et != nil {
+			for et.rec.Due(c.clock) {
+				et.record()
+			}
+		}
 		m.step(c)
 		c.refsDone++
 		processed++
@@ -398,6 +426,10 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 					// Counters restart with the measured window; the fault
 					// stream itself keeps advancing (no tick rewind).
 					fm.ResetStats()
+				}
+				if tr.Enabled(obs.CompSim) {
+					tr.Emitf(c.clock, obs.CompSim, "measurement-start",
+						"all %d cores warm, shared-structure stats reset", cores)
 				}
 			}
 		}
