@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race fuzz vet lint bench evaluate examples clean
+.PHONY: all build test test-race fuzz vet lint bench bench-smoke evaluate examples clean
 
 # LINTDOC_PKGS are the packages held to the 100%-documented bar; grow
 # the list as packages reach it.
@@ -39,9 +39,19 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCompressRoundtrip$$' -fuzztime=30s ./internal/compress
 
 # Full benchmark harness: regenerates every paper table/figure as
-# testing.B benchmarks plus the compression microbenchmarks.
+# testing.B benchmarks plus the compression microbenchmarks, then
+# records the per-layer hot-path numbers (ns/ref, allocs/ref, refs/sec)
+# into BENCH_pr4.json under the "pr4" label. Compare against the
+# committed "baseline" label to track the inner-loop trajectory.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/perfbench -label pr4 -out BENCH_pr4.json
+
+# Short benchmark smoke pass for CI: a few iterations of every per-layer
+# benchmark, just enough to catch a benchmark that no longer compiles or
+# panics — not a performance measurement.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=5x ./internal/compress ./internal/dcache ./internal/sim
 
 # The evaluation as readable tables (several minutes).
 evaluate:

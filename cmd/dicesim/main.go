@@ -61,6 +61,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*metricsEpoch, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	if *cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(*cpuProfile)
 		if err != nil {
@@ -203,6 +208,22 @@ func main() {
 	fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",
 		sim.Speedup(results[1], results[0]))
 	finishObserved(ob, *metricsOut)
+}
+
+// validateFlags rejects flag values whose types permit nonsense the
+// downstream code would only catch as a panic mid-run: a zero metrics
+// epoch (the recorder needs a positive sampling period — previously
+// `-metrics-epoch 0` panicked inside obs.NewRecorder) and a negative
+// worker count (0 is documented as "one per CPU"; a negative value was
+// silently treated the same, hiding the typo).
+func validateFlags(metricsEpoch uint64, workers int) error {
+	if metricsEpoch == 0 {
+		return fmt.Errorf("-metrics-epoch must be a positive cycle count, got 0")
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = one per CPU, 1 = serial), got %d", workers)
+	}
+	return nil
 }
 
 // finishObserved prints the collected event timeline and writes the

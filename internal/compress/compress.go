@@ -118,10 +118,13 @@ func Decompress(enc Encoding) []byte {
 	}
 }
 
-// CompressedSize is a convenience that returns only the hybrid compressed
-// size of a line in bytes (0 for an all-zero line, 64 for incompressible).
+// CompressedSize returns the hybrid compressed size of a line in bytes
+// (0 for an all-zero line, 64 for incompressible). It takes the
+// allocation-free size-only path — always equal to
+// CompressBest(line).Size(), which the equivalence tests enforce.
 func CompressedSize(line []byte) int {
-	return CompressBest(line).Size()
+	s, _, _ := sizeChoice(line)
+	return s
 }
 
 func isZero(line []byte) bool {

@@ -1,0 +1,179 @@
+package compress
+
+import "encoding/binary"
+
+// SizeCache memoizes compressed-size results keyed by line content.
+// Synthetic data generation is deterministic per address, and the cache
+// re-sizes the same lines on every repack, so identical 64-byte
+// contents recur constantly; hashing the content once is far cheaper
+// than re-running the FPC/BDI fit checks. The cache is a bounded
+// hash-indexed store with CLOCK-style second-chance eviction —
+// deterministic (no map iteration, no randomized hashing) so cached
+// and uncached runs produce byte-identical simulation results.
+//
+// A SizeCache is not safe for concurrent use; give each goroutine
+// (each parallel experiment already has its own cache instance) its
+// own.
+type SizeCache struct {
+	entries []sizeCacheEntry
+	mask    uint64
+	hand    int
+	stats   SizeCacheStats
+}
+
+type sizeCacheEntry struct {
+	key  uint64
+	size int32
+	live bool
+	used bool
+}
+
+// SizeCacheStats counts cache traffic since construction.
+type SizeCacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// NewSizeCache returns a cache bounded to capacity entries (rounded up
+// to a power of two, minimum 64). A capacity of 0 picks a default that
+// comfortably covers a simulated workload's working set of distinct
+// line contents.
+func NewSizeCache(capacity int) *SizeCache {
+	if capacity <= 0 {
+		capacity = 1 << 15
+	}
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &SizeCache{
+		entries: make([]sizeCacheEntry, n),
+		mask:    uint64(n - 1),
+	}
+}
+
+// Stats returns the hit/miss/eviction counters.
+func (c *SizeCache) Stats() SizeCacheStats { return c.stats }
+
+// Len returns the number of live entries.
+func (c *SizeCache) Len() int {
+	n := 0
+	for i := range c.entries {
+		if c.entries[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// hashLine mixes the 64 line bytes into one 64-bit key. It is a fixed
+// function of the content (xxhash-style avalanche over eight words), so
+// results are reproducible across runs and machines — unlike
+// hash/maphash, whose seed varies per process.
+func hashLine(line []byte) uint64 {
+	const (
+		m1 = 0x9E3779B185EBCA87
+		m2 = 0xC2B2AE3D27D4EB4F
+	)
+	h := uint64(m1)
+	h *= LineSize
+	for i := 0; i < LineSize; i += 8 {
+		w := binary.LittleEndian.Uint64(line[i : i+8])
+		h ^= (w * m1) ^ ((w >> 29) * m2)
+		h = (h<<31 | h>>33) * m1
+	}
+	h ^= h >> 33
+	h *= m2
+	h ^= h >> 29
+	return h
+}
+
+// PairKey combines two line hashes into one pair key, order-sensitive
+// (pair compression is asymmetric: A donates the base).
+func pairKey(ha, hb uint64) uint64 {
+	h := ha*0x9E3779B185EBCA87 + 0x27D4EB2F165667C5
+	h ^= hb * 0xC2B2AE3D27D4EB4F
+	h ^= h >> 31
+	h *= 0x9E3779B185EBCA87
+	h ^= h >> 29
+	return h
+}
+
+// lookup returns the memoized size for key, or computes it via f and
+// stores it. Probing is open-addressed with a small bounded window;
+// when the window is full, the CLOCK hand evicts the first
+// not-recently-used entry.
+func (c *SizeCache) lookup(key uint64, f func() int) int {
+	const window = 8
+	idx := key & c.mask
+	free := -1
+	for i := 0; i < window; i++ {
+		j := (idx + uint64(i)) & c.mask
+		e := &c.entries[j]
+		if !e.live {
+			if free < 0 {
+				free = int(j)
+			}
+			continue
+		}
+		if e.key == key {
+			e.used = true
+			c.stats.Hits++
+			return int(e.size)
+		}
+	}
+	c.stats.Misses++
+	size := f()
+	if free < 0 {
+		free = c.evictFrom(idx, window)
+	}
+	c.entries[free] = sizeCacheEntry{key: key, size: int32(size), live: true, used: true}
+	return size
+}
+
+// evictFrom frees one slot inside the probe window starting at idx,
+// giving recently used entries a second chance.
+func (c *SizeCache) evictFrom(idx uint64, window int) int {
+	for {
+		j := (idx + uint64(c.hand)) & c.mask
+		c.hand = (c.hand + 1) % window
+		e := &c.entries[j]
+		if e.used {
+			e.used = false
+			continue
+		}
+		e.live = false
+		c.stats.Evictions++
+		return int(j)
+	}
+}
+
+// Single returns CompressedSize(line), memoized by content.
+func (c *SizeCache) Single(line []byte) int {
+	mustLine(line)
+	return c.lookup(hashLine(line), func() int { return CompressedSize(line) })
+}
+
+// Pair returns PairSize(a, b), memoized by the ordered content pair.
+func (c *SizeCache) Pair(a, b []byte) int {
+	mustLine(a)
+	mustLine(b)
+	return c.lookup(pairKey(hashLine(a), hashLine(b)), func() int { return PairSize(a, b) })
+}
+
+// SingleWith returns SizeWith(alg, line), memoized. The algorithm is
+// folded into the key so one cache can serve multiple sizers.
+func (c *SizeCache) SingleWith(alg AlgID, line []byte) int {
+	mustLine(line)
+	key := hashLine(line) ^ (uint64(alg)+1)*0xBF58476D1CE4E5B9
+	return c.lookup(key, func() int { return SizeWith(alg, line) })
+}
+
+// PairWith returns PairSizeWith(alg, a, b), memoized.
+func (c *SizeCache) PairWith(alg AlgID, a, b []byte) int {
+	mustLine(a)
+	mustLine(b)
+	key := pairKey(hashLine(a), hashLine(b)) ^ (uint64(alg)+1)*0xBF58476D1CE4E5B9
+	return c.lookup(key, func() int { return PairSizeWith(alg, a, b) })
+}

@@ -3,7 +3,8 @@ package compress
 // Single-algorithm sizing, used by the compression-algorithm ablation:
 // DICE is orthogonal to the compression scheme (Section 7.1), and these
 // helpers let the cache run with FPC alone or BDI alone instead of the
-// hybrid selector.
+// hybrid selector. Both take the allocation-free size-only paths; the
+// equivalence tests pin them to the codec-produced sizes.
 
 // SizeWith returns the compressed size of a line under one algorithm
 // family: AlgFPC (FPC + zero lines), AlgBDI (BDI + zero lines), or
@@ -15,13 +16,13 @@ func SizeWith(alg AlgID, line []byte) int {
 	}
 	switch alg {
 	case AlgFPC:
-		if enc, ok := (FPC{}).Compress(line); ok {
-			return enc.Size()
+		if s, ok := fpcSizeOnly(line); ok {
+			return s
 		}
 		return LineSize
 	case AlgBDI:
-		if enc, ok := (BDI{}).Compress(line); ok {
-			return enc.Size()
+		if s, _, ok := bdiSizeOnly(line); ok {
+			return s
 		}
 		return LineSize
 	default:
@@ -39,15 +40,10 @@ func PairSizeWith(alg AlgID, a, b []byte) int {
 	case AlgBDI:
 		mustLine(a)
 		mustLine(b)
-		encA, okA := (BDI{}).Compress(a)
 		sa, sb := SizeWith(AlgBDI, a), SizeWith(AlgBDI, b)
-		if okA && encA.Mode != BDIRep {
-			k, _ := bdiGeometry(encA.Mode)
-			base := int64(readUint(encA.Payload[:k], k))
-			if payload, ok := bdiTryModeWithBase(b, encA.Mode, base); ok {
-				if shared := sa + len(payload); shared < sa+sb {
-					return shared
-				}
+		if szA, modeA, okA := bdiSizeOnly(a); okA {
+			if shared, ok := pairSharedSize(a, b, szA, AlgBDI, modeA); ok && shared < sa+sb {
+				return shared
 			}
 		}
 		return sa + sb

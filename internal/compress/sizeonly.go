@@ -1,0 +1,116 @@
+package compress
+
+import "encoding/binary"
+
+// Size-only compression: the DRAM cache consults compressed sizes on
+// every install, repack and index decision, but it only needs the
+// *size* — the payload bytes are simulator-internal and discarded
+// immediately (verify mode aside). These paths compute the exact sizes
+// the codecs would produce without materializing any payload, which
+// removes all allocation from the cache's sizing hot path. Equivalence
+// with the codec paths is enforced by TestSizeOnlyMatchesCodec over
+// the full data-kind corpus plus random lines, and end-to-end by the
+// byte-identical experiment goldens.
+
+// fpcSizeOnly returns FPC's encoded size in bytes without building the
+// payload; ok is false when FPC cannot beat the raw line (mirrors
+// FPC.Compress).
+func fpcSizeOnly(line []byte) (int, bool) {
+	bits := uint(0)
+	for i := 0; i < LineSize; i += 4 {
+		word := binary.LittleEndian.Uint32(line[i : i+4])
+		pat, _ := fpcClassify(word)
+		bits += 3 + fpcPayloadBits[pat]
+	}
+	size := int((bits + 7) / 8)
+	if size >= LineSize {
+		return 0, false
+	}
+	return size, true
+}
+
+// bdiIsRep reports whether the line is one repeated 8-byte value
+// (mirrors bdiTryRep without building the payload).
+func bdiIsRep(line []byte) bool {
+	first := binary.LittleEndian.Uint64(line[:8])
+	for i := 8; i < LineSize; i += 8 {
+		if binary.LittleEndian.Uint64(line[i:i+8]) != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bdiFitsWithBase reports whether every k-byte value of line is within
+// mode's delta width of base — bdiTryModeWithBase's fit check without
+// the payload write.
+func bdiFitsWithBase(line []byte, mode uint8, base int64) bool {
+	k, d := bdiGeometry(mode)
+	n := LineSize / k
+	deltaBits := uint(d * 8)
+	for i := 0; i < n; i++ {
+		v := int64(readUint(line[i*k:(i+1)*k], k))
+		delta := v - base
+		if k < 8 {
+			delta = signExtend(uint64(delta), uint(k*8))
+		}
+		if !fitsSigned(delta, deltaBits) {
+			return false
+		}
+	}
+	return true
+}
+
+// bdiSizeOnly returns BDI's encoded size and chosen mode without
+// building the payload. The mode order mirrors BDI.Compress exactly,
+// so the chosen mode (which pair base-sharing depends on) is identical.
+func bdiSizeOnly(line []byte) (size int, mode uint8, ok bool) {
+	if bdiIsRep(line) {
+		return 8, BDIRep, true
+	}
+	for mode := BDIB8D1; mode < bdiModeCount; mode++ {
+		k, _ := bdiGeometry(mode)
+		base := int64(readUint(line[:k], k))
+		if bdiFitsWithBase(line, mode, base) {
+			return bdiEncodedSize(mode), mode, true
+		}
+	}
+	return 0, 0, false
+}
+
+// sizeChoice returns the hybrid selector's outcome for a line without
+// allocating: the compressed size, the algorithm CompressBest would
+// pick, and the BDI mode (meaningful only when alg is AlgBDI). The
+// tie-breaking matches CompressBest: BDI replaces the raw encoding
+// when smaller, FPC replaces the current best only when strictly
+// smaller, so BDI wins size ties.
+func sizeChoice(line []byte) (size int, alg AlgID, bdiMode uint8) {
+	mustLine(line)
+	if isZero(line) {
+		return 0, AlgZCA, 0
+	}
+	size, alg = LineSize, AlgNone
+	if s, m, ok := bdiSizeOnly(line); ok && s < size {
+		size, alg, bdiMode = s, AlgBDI, m
+	}
+	if s, ok := fpcSizeOnly(line); ok && s < size {
+		size, alg = s, AlgFPC
+	}
+	return size, alg, bdiMode
+}
+
+// pairSharedSize returns the shared-base pair size for b riding on a's
+// BDI encoding (alg/mode/size from sizeChoice(a)), or ok=false when
+// base sharing does not apply — the size-only mirror of CompressPair's
+// sharing attempt.
+func pairSharedSize(a, b []byte, sizeA int, algA AlgID, modeA uint8) (int, bool) {
+	if algA != AlgBDI || modeA == BDIRep {
+		return 0, false
+	}
+	k, d := bdiGeometry(modeA)
+	base := int64(readUint(a[:k], k))
+	if !bdiFitsWithBase(b, modeA, base) {
+		return 0, false
+	}
+	return sizeA + (LineSize/k)*d, true
+}

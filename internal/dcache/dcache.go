@@ -74,6 +74,16 @@ type DataSource interface {
 	Line(line uint64) []byte
 }
 
+// Filler is an optional DataSource extension: FillLine writes the line's
+// 64 bytes into buf and returns true, or returns false for an unknown
+// (incompressible) line. Sources that implement it let the cache size
+// lines through reusable scratch buffers instead of allocating a fresh
+// slice per Line call — the sizing hot path holds the bytes only for
+// the duration of the size computation.
+type Filler interface {
+	FillLine(line uint64, buf []byte) bool
+}
+
 // DefaultThreshold is the DICE insertion threshold (Section 5.2): lines
 // compressing to <= 36B install at their BAI location.
 const DefaultThreshold = 36
@@ -174,6 +184,14 @@ type Stats struct {
 	VerifyChecks   uint64
 	VerifyFailures uint64
 
+	// SizeMemoHits/SizeMemoMisses count lookups of the per-line
+	// compressed-size memo table (hits return a previously computed size
+	// without touching the data source or the compressors). They are
+	// performance observability only: the memo never changes a simulated
+	// outcome, since sizes are deterministic per line.
+	SizeMemoHits   uint64
+	SizeMemoMisses uint64
+
 	// Fault-injection effects (Config.Faults). FaultDetectedFrames counts
 	// demand-read transfers whose ECC flagged an uncorrectable error;
 	// FaultRefetches counts would-be hits converted to main-memory
@@ -221,11 +239,19 @@ type Cache struct {
 	cip       *CIP
 	stats     Stats
 
-	// sizeMemo caches hybrid single/pair compressed sizes per line; data
-	// is deterministic per line so the memo never invalidates. [0] is the
-	// single size + 1 (0 = unset); [1] likewise the pair size for even
-	// lines.
-	sizeMemo map[uint64][2]uint8
+	// sizeMemo caches single/pair compressed sizes per line address; data
+	// is deterministic per line so the memo never invalidates.
+	sizeMemo sizeMemo
+	// sizeCache deduplicates hybrid size computations by line *content*
+	// (distinct addresses frequently carry identical bytes — every
+	// all-zero line, page-coherent kinds). Consulted only on sizeMemo
+	// misses with the default sizers.
+	sizeCache *compress.SizeCache
+	// filler is cfg.Data's scratch-buffer interface when implemented;
+	// scratchA/B are the reused line buffers.
+	filler   Filler
+	scratchA [compress.LineSize]byte
+	scratchB [compress.LineSize]byte
 
 	// faultCount tracks detected-uncorrectable faults per set and
 	// quarantined marks sets demoted to uncompressed single-line storage
@@ -251,7 +277,12 @@ func New(cfg Config) *Cache {
 		threshold: cfg.Threshold,
 		sets:      make([]set, cfg.Sets),
 		cip:       NewCIP(cfg.CIPEntries),
-		sizeMemo:  make(map[uint64][2]uint8),
+	}
+	if cfg.Policy != PolicyUncompressed && cfg.SingleSizer == nil {
+		c.sizeCache = compress.NewSizeCache(0)
+	}
+	if f, ok := cfg.Data.(Filler); ok {
+		c.filler = f
 	}
 	if cfg.Faults != nil {
 		c.faultCount = make(map[uint64]uint8)
@@ -392,48 +423,75 @@ func schemeLabel(bai bool) string {
 
 // --- compressed-size resolution (memoized) ---
 
+// lineData resolves a line's bytes for sizing, preferring the source's
+// scratch-buffer path. The returned slice is only valid until the next
+// lineData call with the same buf.
+func (c *Cache) lineData(line uint64, buf []byte) []byte {
+	if c.filler != nil {
+		if c.filler.FillLine(line, buf) {
+			return buf
+		}
+		return nil
+	}
+	return c.cfg.Data.Line(line)
+}
+
 func (c *Cache) singleSize(line uint64) int {
 	if c.cfg.Policy == PolicyUncompressed {
 		return 64
 	}
-	m := c.sizeMemo[line]
-	if m[0] == 0 {
-		data := c.cfg.Data.Line(line)
-		var sz int
-		switch {
-		case data == nil:
-			sz = 64
-		case c.cfg.SingleSizer != nil:
-			sz = c.cfg.SingleSizer(data)
-		default:
-			sz = compressedSizeOf(data)
-		}
-		m[0] = uint8(sz) + 1
-		c.sizeMemo[line] = m
+	cell := c.sizeMemo.cell(line)
+	if cell.single != 0 {
+		c.stats.SizeMemoHits++
+		return int(cell.single) - 1
 	}
-	return int(m[0]) - 1
+	c.stats.SizeMemoMisses++
+	data := c.lineData(line, c.scratchA[:])
+	var sz int
+	switch {
+	case data == nil:
+		sz = 64
+	case c.cfg.SingleSizer != nil:
+		sz = c.cfg.SingleSizer(data)
+	default:
+		sz = c.sizeCache.Single(data)
+	}
+	cell.single = uint8(sz) + 1
+	return sz
 }
 
 func (c *Cache) pairSize(evenLine uint64) int {
-	m := c.sizeMemo[evenLine]
-	if m[1] == 0 {
-		even, odd := c.cfg.Data.Line(evenLine), c.cfg.Data.Line(evenLine|1)
-		var sz int
-		switch {
-		case even == nil || odd == nil:
-			sz = 128
-		case c.cfg.PairSizer != nil:
-			sz = c.cfg.PairSizer(even, odd)
-		default:
-			sz = pairCompressedSizeOf(even, odd)
-		}
-		// Pair sizes span 0..128; store /2 rounded up to fit a byte
-		// losslessly enough (sizes are even in practice; odd sizes round
-		// up by one byte, which only ever under-packs, never over-packs).
-		m[1] = uint8((sz+1)/2) + 1
-		c.sizeMemo[evenLine] = m
+	cell := c.sizeMemo.cell(evenLine)
+	if cell.pair != 0 {
+		c.stats.SizeMemoHits++
+		return (int(cell.pair) - 1) * 2
 	}
-	return (int(m[1]) - 1) * 2
+	c.stats.SizeMemoMisses++
+	even := c.lineData(evenLine, c.scratchA[:])
+	odd := c.lineData(evenLine|1, c.scratchB[:])
+	var sz int
+	switch {
+	case even == nil || odd == nil:
+		sz = 128
+	case c.cfg.PairSizer != nil:
+		sz = c.cfg.PairSizer(even, odd)
+	default:
+		sz = c.sizeCache.Pair(even, odd)
+	}
+	// Pair sizes span 0..128; store /2 rounded up to fit a byte
+	// losslessly enough (sizes are even in practice; odd sizes round
+	// up by one byte, which only ever under-packs, never over-packs).
+	cell.pair = uint8((sz+1)/2) + 1
+	return (int(cell.pair) - 1) * 2
+}
+
+// SizeCacheStats returns the content-keyed size cache's counters (zero
+// when the cache runs uncompressed or with custom sizers).
+func (c *Cache) SizeCacheStats() compress.SizeCacheStats {
+	if c.sizeCache == nil {
+		return compress.SizeCacheStats{}
+	}
+	return c.sizeCache.Stats()
 }
 
 // schemeFor returns the indexing scheme the policy uses for installs of a

@@ -1,0 +1,197 @@
+package dcache
+
+import (
+	"testing"
+
+	"dice/internal/compress"
+	"dice/internal/data"
+	"dice/internal/dram"
+)
+
+// synthSource adapts data.Synth to DataSource (Line only, no Filler),
+// like the simulator's machine before the scratch-buffer path existed.
+type synthSource struct{ s *data.Synth }
+
+func (ss *synthSource) Line(line uint64) []byte { return ss.s.Line(line) }
+
+// fillSource additionally implements Filler, exercising the
+// scratch-buffer path.
+type fillSource struct{ s *data.Synth }
+
+func (fs *fillSource) Line(line uint64) []byte { return fs.s.Line(line) }
+func (fs *fillSource) FillLine(line uint64, buf []byte) bool {
+	fs.s.FillLine(line, buf)
+	return true
+}
+
+func memoTestCache(t *testing.T, src DataSource, cfg Config) *Cache {
+	t.Helper()
+	cfg.Sets = 1 << 8
+	cfg.Mem = dram.New(dram.HBMConfig())
+	cfg.Data = src
+	return New(cfg)
+}
+
+// TestSizeMemoMatchesDirect pins the memoized size path to the direct
+// compressor result for every line, on both the Line and FillLine data
+// paths, across repeated lookups (the second pass must be all hits).
+func TestSizeMemoMatchesDirect(t *testing.T) {
+	synth := data.NewSynth(0xABCD, data.HighlyCompressible())
+	sources := map[string]DataSource{
+		"line-alloc":   &synthSource{s: synth},
+		"fill-scratch": &fillSource{s: synth},
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			c := memoTestCache(t, src, Config{Policy: PolicyDICE})
+			for pass := 0; pass < 2; pass++ {
+				for line := uint64(0); line < 512; line++ {
+					want := compress.CompressedSize(synth.Line(line))
+					if got := c.singleSize(line); got != want {
+						t.Fatalf("pass %d line %d: singleSize=%d, direct=%d", pass, line, got, want)
+					}
+					if line%2 == 0 {
+						wantPair := compress.PairSize(synth.Line(line), synth.Line(line|1))
+						wantPair = (wantPair + 1) &^ 1 // memo rounds odd pair sizes up to even
+						if got := c.pairSize(line); got != wantPair {
+							t.Fatalf("pass %d line %d: pairSize=%d, direct=%d", pass, line, got, wantPair)
+						}
+					}
+				}
+			}
+			st := c.Stats()
+			if st.SizeMemoMisses != 512+256 {
+				t.Fatalf("SizeMemoMisses=%d, want %d (one per distinct single + pair)", st.SizeMemoMisses, 512+256)
+			}
+			if st.SizeMemoHits != 512+256 {
+				t.Fatalf("SizeMemoHits=%d, want %d (the whole second pass)", st.SizeMemoHits, 512+256)
+			}
+		})
+	}
+}
+
+// TestSizeMemoMatchesDirectPerAlgorithm covers the custom-sizer path:
+// the memoized sizes under the FPC-only and BDI-only ablation sizers
+// must match direct SizeWith/PairSizeWith calls.
+func TestSizeMemoMatchesDirectPerAlgorithm(t *testing.T) {
+	for _, alg := range []compress.AlgID{compress.AlgFPC, compress.AlgBDI} {
+		synth := data.NewSynth(0x600D, data.HighlyCompressible())
+		c := memoTestCache(t, &fillSource{s: synth}, Config{
+			Policy:      PolicyDICE,
+			SingleSizer: func(l []byte) int { return compress.SizeWith(alg, l) },
+			PairSizer:   func(a, b []byte) int { return compress.PairSizeWith(alg, a, b) },
+		})
+		for line := uint64(0); line < 256; line++ {
+			if got, want := c.singleSize(line), compress.SizeWith(alg, synth.Line(line)); got != want {
+				t.Fatalf("alg %v line %d: singleSize=%d, direct=%d", alg, line, got, want)
+			}
+			if line%2 == 0 {
+				want := (compress.PairSizeWith(alg, synth.Line(line), synth.Line(line|1)) + 1) &^ 1
+				if got := c.pairSize(line); got != want {
+					t.Fatalf("alg %v line %d: pairSize=%d, direct=%d", alg, line, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSizeMemoSparseAddresses exercises the overflow level of the
+// two-level memo table: line addresses far beyond the dense page range
+// must memoize correctly too.
+func TestSizeMemoSparseAddresses(t *testing.T) {
+	synth := data.NewSynth(0xFEED, data.HighlyCompressible())
+	c := memoTestCache(t, &fillSource{s: synth}, Config{Policy: PolicyDICE})
+	sparse := []uint64{
+		memoMaxDensePages << memoLineShift,
+		(memoMaxDensePages << memoLineShift) * 7,
+		1 << 40, 1<<40 | 1, 1 << 62,
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, line := range sparse {
+			if got, want := c.singleSize(line), compress.CompressedSize(synth.Line(line)); got != want {
+				t.Fatalf("pass %d sparse line %#x: singleSize=%d, direct=%d", pass, line, got, want)
+			}
+		}
+	}
+	if st := c.Stats(); st.SizeMemoHits != uint64(len(sparse)) {
+		t.Fatalf("SizeMemoHits=%d, want %d (overflow cells must memoize)", st.SizeMemoHits, len(sparse))
+	}
+}
+
+// nilOddSource serves real data for even lines but reports odd lines
+// unknown, modelling a pair whose second member falls outside the data
+// image at an end-of-set boundary.
+type nilOddSource struct{ s *data.Synth }
+
+func (n *nilOddSource) Line(line uint64) []byte {
+	if line&1 == 1 {
+		return nil
+	}
+	return n.s.Line(line)
+}
+
+// TestPairSizeNilOddBoundary pins the end-of-set boundary behavior: a
+// pair whose odd member has no data is incompressible (128B, rounding
+// to 2*LineSize), matching pairCompressedSizeOf's nil contract, and the
+// even member still sizes alone.
+func TestPairSizeNilOddBoundary(t *testing.T) {
+	synth := data.NewSynth(0xB00, data.HighlyCompressible())
+	c := memoTestCache(t, &nilOddSource{s: synth}, Config{Policy: PolicyDICE})
+	for line := uint64(0); line < 64; line += 2 {
+		if got := c.pairSize(line); got != 128 {
+			t.Fatalf("line %d: pairSize with nil odd member = %d, want 128", line, got)
+		}
+		if got, want := c.singleSize(line), compress.CompressedSize(synth.Line(line)); got != want {
+			t.Fatalf("line %d: even member singleSize=%d, want %d", line, got, want)
+		}
+		if got := c.singleSize(line | 1); got != 64 {
+			t.Fatalf("line %d: nil odd member singleSize=%d, want 64", line|1, got)
+		}
+	}
+}
+
+// TestPairSizeOddRoundsUp pins the memo's storage quirk: odd pair sizes
+// (possible only through custom sizers) round up to the next even byte
+// count — the memo packs pair sizes /2 into a byte — and the rounded
+// value is what every caller observes, first computation included.
+func TestPairSizeOddRoundsUp(t *testing.T) {
+	synth := data.NewSynth(0x0DD, data.HighlyCompressible())
+	c := memoTestCache(t, &fillSource{s: synth}, Config{
+		Policy:      PolicyDICE,
+		SingleSizer: func([]byte) int { return 33 },
+		PairSizer:   func(_, _ []byte) int { return 67 },
+	})
+	if got := c.pairSize(0); got != 68 {
+		t.Fatalf("first pairSize(0)=%d, want 68 (67 rounded up)", got)
+	}
+	if got := c.pairSize(0); got != 68 {
+		t.Fatalf("memoized pairSize(0)=%d, want 68", got)
+	}
+}
+
+// TestSizeCacheStatsExposed checks the content-keyed cache is active on
+// the default hybrid path (hits from duplicate contents across
+// addresses) and inert with custom sizers.
+func TestSizeCacheStatsExposed(t *testing.T) {
+	zeros := data.Uniform(data.KindZero) // every line identical: all zero
+	c := memoTestCache(t, &fillSource{s: data.NewSynth(1, zeros)}, Config{Policy: PolicyDICE})
+	for line := uint64(0); line < 128; line++ {
+		if got := c.singleSize(line); got != 0 {
+			t.Fatalf("zero line sized %d", got)
+		}
+	}
+	st := c.SizeCacheStats()
+	if st.Misses != 1 || st.Hits != 127 {
+		t.Fatalf("content cache stats = %+v, want 1 miss + 127 hits for identical lines", st)
+	}
+
+	custom := memoTestCache(t, &fillSource{s: data.NewSynth(1, zeros)}, Config{
+		Policy:      PolicyDICE,
+		SingleSizer: func(l []byte) int { return compress.SizeWith(compress.AlgFPC, l) },
+		PairSizer:   func(a, b []byte) int { return compress.PairSizeWith(compress.AlgFPC, a, b) },
+	})
+	custom.singleSize(0)
+	if st := custom.SizeCacheStats(); st != (compress.SizeCacheStats{}) {
+		t.Fatalf("custom-sizer cache should not use the content cache, got %+v", st)
+	}
+}

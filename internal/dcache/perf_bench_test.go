@@ -1,0 +1,60 @@
+package dcache
+
+import (
+	"testing"
+
+	"dice/internal/data"
+	"dice/internal/dram"
+)
+
+// benchSource adapts a data.Synth to the cache's DataSource, the same
+// role the simulator's machine plays.
+type benchSource struct {
+	s *data.Synth
+}
+
+func (b *benchSource) Line(line uint64) []byte { return b.s.Line(line) }
+
+// newBenchCache assembles a DICE cache over a mixed-compressibility
+// synthetic data source, mirroring the sim's L4 wiring.
+func newBenchCache() *Cache {
+	var p data.Profile
+	for k := data.Kind(0); k < data.KindCount; k++ {
+		p.Weights[k] = 1
+	}
+	p.PageCoherence = 0.9
+	return New(Config{
+		Sets:   1 << 13,
+		Policy: PolicyDICE,
+		Mem:    dram.New(dram.HBMConfig()),
+		Data:   &benchSource{s: data.NewSynth(0xD1CE, p)},
+	})
+}
+
+// benchLine is a deterministic address stream with spatial locality:
+// runs of sequential lines interleaved with jumps, over a footprint
+// about 4x the cache's line capacity so misses and evictions are
+// steady-state.
+func benchLine(i int) uint64 {
+	h := uint64(i) * 0x9E3779B97F4A7C15
+	run := uint64(i) & 7
+	return (h>>40)%(1<<15)*8 + run
+}
+
+// BenchmarkReadInstall measures the cache's demand path per reference:
+// probe, and on a miss the policy decision, compression sizing, install
+// and repack (ns/ref, allocs/ref).
+func BenchmarkReadInstall(b *testing.B) {
+	c := newBenchCache()
+	now := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := benchLine(i)
+		r := c.Read(now, line)
+		if !r.Hit {
+			c.Install(r.Done, line, false)
+		}
+		now += 12
+	}
+}

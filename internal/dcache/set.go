@@ -43,6 +43,10 @@ type entry struct {
 	// size is the data bytes this entry currently occupies, after any
 	// pair base-sharing discount. Maintained by repack.
 	size int
+	// singleP1 caches the line's single compressed size + 1 (0 = not yet
+	// computed). Sizes are immutable per line, so once set, repack never
+	// consults the sizer for this entry's single encoding again.
+	singleP1 uint16
 	// sharedTag marks the second member of an adjacent pair, which rides
 	// on its buddy's tag entry.
 	sharedTag bool
@@ -108,10 +112,14 @@ type sizer interface {
 // change: buddies present together compress as a shared-tag (and possibly
 // shared-base) pair; lone lines revert to their single encoding.
 func (s *set) repack(sz sizer) {
-	// Reset to single encodings.
+	// Reset to single encodings (cached per entry after the first pass).
 	for i := range s.entries {
-		s.entries[i].size = sz.singleSize(s.entries[i].line)
-		s.entries[i].sharedTag = false
+		e := &s.entries[i]
+		if e.singleP1 == 0 {
+			e.singleP1 = uint16(sz.singleSize(e.line)) + 1
+		}
+		e.size = int(e.singleP1) - 1
+		e.sharedTag = false
 	}
 	// Apply pair sharing for co-resident buddies. The even member keeps
 	// the tag; the odd member shares it and the pair discount lands on it.

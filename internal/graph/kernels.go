@@ -129,6 +129,14 @@ func (w *Workspace) AddF64(s []float64) Array {
 // arrays; gaps between regions read as zero.
 func (w *Workspace) Line(line uint64) []byte {
 	buf := make([]byte, 64)
+	w.FillLine(line, buf)
+	return buf
+}
+
+// FillLine writes the line's 64 bytes into buf (which must be zeroed or
+// reused; it is cleared here), avoiding allocation in hot loops.
+func (w *Workspace) FillLine(line uint64, buf []byte) {
+	clear(buf)
 	addr := line << 6
 	for _, r := range w.regions {
 		end := r.base + uint64(r.elemN*r.elemS)
@@ -143,9 +151,8 @@ func (w *Workspace) Line(line uint64) []byte {
 			i := int((a - r.base) / uint64(r.elemS))
 			r.bytes(i, buf[off:])
 		}
-		return buf
+		return
 	}
-	return buf
 }
 
 // FootprintBytes returns the total bytes spanned by all regions.

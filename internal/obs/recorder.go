@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"reflect"
 	"strconv"
 	"strings"
@@ -200,8 +201,16 @@ type Series struct {
 	Epochs []Snapshot `json:"epochs"`
 }
 
-// WriteJSON writes the series as indented JSON.
+// WriteJSON writes the series as indented JSON. JSON has no encoding
+// for NaN or infinities, so a non-finite sample is rejected up front
+// with an error naming the epoch and field — previously it surfaced as
+// encoding/json's opaque "unsupported value: NaN" with no indication of
+// where the value came from. (CSV export round-trips non-finite values
+// losslessly; see WriteCSV.)
 func (s Series) WriteJSON(w io.Writer) error {
+	if err := s.checkFinite(); err != nil {
+		return err
+	}
 	b, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
@@ -209,6 +218,41 @@ func (s Series) WriteJSON(w io.Writer) error {
 	b = append(b, '\n')
 	_, err = w.Write(b)
 	return err
+}
+
+// checkFinite returns an error naming the first non-finite float in the
+// series, walking the snapshot schema reflectively so new float fields
+// are covered automatically.
+func (s Series) checkFinite() error {
+	for _, e := range s.Epochs {
+		v := reflect.ValueOf(e)
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			name, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+			f := v.Field(i)
+			switch {
+			case f.Kind() == reflect.Float64:
+				if err := finiteErr(f.Float(), e.Epoch, name); err != nil {
+					return err
+				}
+			case f.Kind() == reflect.Slice && f.Type().Elem().Kind() == reflect.Float64:
+				for j := 0; j < f.Len(); j++ {
+					if err := finiteErr(f.Index(j).Float(), e.Epoch, fmt.Sprintf("%s[%d]", name, j)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// finiteErr reports a non-finite sample value as a located error.
+func finiteErr(v float64, epoch uint64, field string) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("obs: epoch %d field %q is %v: JSON cannot encode non-finite floats (CSV export round-trips them)", epoch, field, v)
+	}
+	return nil
 }
 
 // ReadJSON parses a series previously written by WriteJSON.
@@ -246,8 +290,10 @@ func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // WriteCSV writes the series as CSV: one header row, one row per
 // epoch, with the per-core IPC vector flattened into core_ipcN
-// columns. Numbers are formatted losslessly, so ReadCSV reconstructs
-// the exact snapshots.
+// columns. Numbers are formatted losslessly — including NaN and the
+// infinities, which strconv renders as "NaN"/"+Inf"/"-Inf" — so
+// ReadCSV reconstructs the exact snapshots (pinned by
+// TestCSVNonFiniteRoundTrip).
 func (s Series) WriteCSV(w io.Writer) error {
 	cores := 0
 	if len(s.Epochs) > 0 {

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCoreHeapOrdering checks the hand-rolled heap pops cores in
+// (clock, idx) order — the strict total order the event loop's
+// determinism rests on — across random push/pop interleavings.
+func TestCoreHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(16)
+		var h coreHeap
+		for i := 0; i < n; i++ {
+			h = append(h, &core{idx: i, clock: uint64(rng.Intn(8))})
+		}
+		h.init()
+		var prev *core
+		for len(h) > 0 {
+			c := h.pop()
+			if prev != nil {
+				if c.clock < prev.clock || (c.clock == prev.clock && c.idx < prev.idx) {
+					t.Fatalf("trial %d: popped (%d,%d) after (%d,%d)",
+						trial, c.clock, c.idx, prev.clock, prev.idx)
+				}
+			}
+			prev = c
+			// Re-push with a later clock half the time, like the event loop.
+			if rng.Intn(2) == 0 && len(h) < n {
+				c.clock += uint64(1 + rng.Intn(4))
+				h.push(c)
+				prev = nil
+			}
+		}
+	}
+}
+
+// TestCoreHeapPopClearsSlot is the regression test for the heap-slot
+// leak: the former container/heap-based Pop re-sliced the backing array
+// without nilling the vacated slot, so the last-popped *core stayed
+// reachable (pinning the core and everything it references) for as long
+// as the slice's backing array lived.
+func TestCoreHeapPopClearsSlot(t *testing.T) {
+	h := make(coreHeap, 0, 8)
+	for i := 0; i < 8; i++ {
+		h.push(&core{idx: i, clock: uint64(100 - i)})
+	}
+	for len(h) > 0 {
+		h.pop()
+	}
+	// Every slot of the backing array must have been cleared on pop.
+	for i, c := range h[:cap(h)] {
+		if c != nil {
+			t.Fatalf("backing array slot %d still pins core %d after pop", i, c.idx)
+		}
+	}
+}
+
+// TestInsertSorted pins the outstanding-window insert: ascending order
+// maintained for front, middle and back insertions (the append-pad-
+// then-shift path), including duplicates.
+func TestInsertSorted(t *testing.T) {
+	cases := []struct {
+		name string
+		have []uint64
+		v    uint64
+		want []uint64
+	}{
+		{name: "empty", have: nil, v: 5, want: []uint64{5}},
+		{name: "back", have: []uint64{1, 2, 3}, v: 9, want: []uint64{1, 2, 3, 9}},
+		{name: "front", have: []uint64{4, 5, 6}, v: 1, want: []uint64{1, 4, 5, 6}},
+		{name: "middle", have: []uint64{1, 5, 9}, v: 6, want: []uint64{1, 5, 6, 9}},
+		{name: "duplicate", have: []uint64{3, 3, 7}, v: 3, want: []uint64{3, 3, 3, 7}},
+		{name: "equal to back", have: []uint64{2, 8}, v: 8, want: []uint64{2, 8, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := insertSorted(append([]uint64(nil), tc.have...), tc.v)
+			if len(got) != len(tc.want) {
+				t.Fatalf("insertSorted(%v, %d) = %v, want %v", tc.have, tc.v, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("insertSorted(%v, %d) = %v, want %v", tc.have, tc.v, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestInsertSortedReusesCapacity checks the retire-then-insert cycle
+// never grows past the pre-sized window capacity, so the hot loop runs
+// allocation-free.
+func TestInsertSortedReusesCapacity(t *testing.T) {
+	const window = 6
+	s := make([]uint64, 0, window+1)
+	base := &s[:1][0]
+	for i := 0; i < 1000; i++ {
+		if len(s) >= window {
+			n := copy(s, s[1:])
+			s = s[:n]
+		}
+		s = insertSorted(s, uint64(i*7%97))
+		if cap(s) != window+1 || &s[:1][0] != base {
+			t.Fatalf("iteration %d: backing array reallocated (cap %d)", i, cap(s))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"dice/internal/dcache"
+	"dice/internal/workloads"
+)
+
+// benchRefsPerCore keeps the full-sim benchmark short enough for CI
+// smoke runs while still exercising warmup, contention and eviction.
+const benchRefsPerCore = 4000
+
+// benchTotalRefs is the number of simulated references one benchmark
+// iteration processes (warmup included), for per-ref normalization.
+func benchTotalRefs() int {
+	warm := benchRefsPerCore / 2 // WarmupFrac 0.5
+	return cores * (benchRefsPerCore + warm)
+}
+
+// BenchmarkRunMix1 measures one full simulation of the mix1 workload
+// under the DICE policy — the end-to-end number the ROADMAP's
+// "fast as the hardware allows" goal tracks. Reports ns/ref and
+// refs/sec over all simulated references (warmup included).
+func BenchmarkRunMix1(b *testing.B) {
+	w, err := workloads.ByName("mix1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Policy: dcache.PolicyDICE, RefsPerCore: benchRefsPerCore}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(benchTotalRefs())
+	nsPerRef := float64(b.Elapsed().Nanoseconds()) / (float64(b.N) * total)
+	b.ReportMetric(nsPerRef, "ns/ref")
+	b.ReportMetric(1e9/nsPerRef, "refs/sec")
+}
+
+// BenchmarkRunGcc measures a single-benchmark rate workload under DICE
+// (gcc: small footprint, compressible) as a second full-sim point.
+func BenchmarkRunGcc(b *testing.B) {
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Policy: dcache.PolicyDICE, RefsPerCore: benchRefsPerCore}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	total := float64(benchTotalRefs())
+	nsPerRef := float64(b.Elapsed().Nanoseconds()) / (float64(b.N) * total)
+	b.ReportMetric(nsPerRef, "ns/ref")
+	b.ReportMetric(1e9/nsPerRef, "refs/sec")
+}

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"dice/internal/cache"
@@ -195,19 +194,81 @@ type core struct {
 	refsTarget  int
 }
 
-// coreHeap orders cores by clock (ties by index, for determinism).
+// coreHeap is a binary min-heap of cores ordered by clock (ties by
+// index, for determinism). It is hand-rolled rather than built on
+// container/heap: the event loop pushes and pops every simulated
+// reference, and the standard library's interface-based API boxes each
+// *core into an `any` on the way through. The ordering is a strict
+// total order (indices are unique), so the pop sequence is uniquely
+// determined regardless of internal layout.
 type coreHeap []*core
 
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
+func (h coreHeap) less(i, j int) bool {
 	if h[i].clock != h[j].clock {
 		return h[i].clock < h[j].clock
 	}
 	return h[i].idx < h[j].idx
 }
-func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x any)   { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// init establishes the heap invariant over arbitrary contents.
+func (h coreHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *coreHeap) push(c *core) {
+	*h = append(*h, c)
+	h.up(len(*h) - 1)
+}
+
+// pop removes and returns the earliest core. The vacated tail slot is
+// cleared so the backing array does not pin the popped *core — the old
+// container/heap-based Pop re-sliced without nilling the slot, leaving a
+// stale pointer live in the array for the remainder of the run
+// (regression-tested by TestCoreHeapPopClearsSlot).
+func (h *coreHeap) pop() *core {
+	old := *h
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	c := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		(*h).down(0)
+	}
+	return c
+}
+
+func (h coreHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h coreHeap) down(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
 
 // machine is the assembled system.
 type machine struct {
@@ -219,10 +280,14 @@ type machine struct {
 	mapi  *dcache.MAPI
 	insts []workloads.Instance
 
-	// First-touch page translation: global virtual page -> physical page.
-	pageMap map[uint64]uint64
-	revMap  []vpageRef // physical page -> owner
-	nextPP  uint64
+	// First-touch page translation. Each core's table maps its virtual
+	// page number directly to physical page + 1 (0 = unallocated) — a
+	// two-level slice lookup on the per-reference hot path, replacing the
+	// former global map keyed by core-tagged virtual page. Tables grow on
+	// demand; footprints bound the virtual page space per core.
+	pageTables [cores][]uint64
+	revMap     []vpageRef // physical page -> owner
+	nextPP     uint64
 }
 
 type vpageRef struct {
@@ -230,24 +295,27 @@ type vpageRef struct {
 	vpage uint64
 }
 
-// globalVLine tags a per-core virtual line with its core.
-func globalVLine(coreIdx int, vline uint64) uint64 {
-	return uint64(coreIdx)<<40 | vline
-}
-
-// translate maps a global virtual line to a physical line, allocating the
-// page on first touch.
+// translate maps a core's virtual line to a physical line, allocating
+// the page on first touch. Allocation order (and therefore every
+// physical address) is identical to the former map-based translation:
+// physical pages are handed out in global first-touch order.
 func (m *machine) translate(coreIdx int, vline uint64) uint64 {
-	gv := globalVLine(coreIdx, vline)
-	vpage := gv >> 6
-	pp, ok := m.pageMap[vpage]
-	if !ok {
-		pp = m.nextPP
-		m.nextPP++
-		m.pageMap[vpage] = pp
-		m.revMap = append(m.revMap, vpageRef{inst: coreIdx, vpage: vline >> 6})
+	vpage := vline >> 6
+	pt := m.pageTables[coreIdx]
+	if vpage >= uint64(len(pt)) {
+		grown := make([]uint64, vpage+vpage/2+64)
+		copy(grown, pt)
+		m.pageTables[coreIdx] = grown
+		pt = grown
 	}
-	return pp<<6 | gv&63
+	pp := pt[vpage]
+	if pp == 0 {
+		m.nextPP++
+		pp = m.nextPP // stored biased by one; 0 means unallocated
+		pt[vpage] = pp
+		m.revMap = append(m.revMap, vpageRef{inst: coreIdx, vpage: vpage})
+	}
+	return (pp-1)<<6 | vline&63
 }
 
 // Line implements dcache.DataSource over physical lines.
@@ -258,6 +326,24 @@ func (m *machine) Line(paLine uint64) []byte {
 	}
 	ref := m.revMap[pp]
 	return m.insts[ref.inst].Data(ref.vpage<<6 | paLine&63)
+}
+
+// FillLine implements dcache.Filler: the allocation-free variant of Line
+// used on the cache's sizing hot path.
+func (m *machine) FillLine(paLine uint64, buf []byte) bool {
+	pp := paLine >> 6
+	if pp >= uint64(len(m.revMap)) {
+		return false
+	}
+	ref := m.revMap[pp]
+	in := &m.insts[ref.inst]
+	vline := ref.vpage<<6 | paLine&63
+	if in.Fill != nil {
+		in.Fill(vline, buf)
+		return true
+	}
+	copy(buf, in.Data(vline))
+	return true
 }
 
 // Run executes workload w under cfg and returns the measured result. It
@@ -280,7 +366,7 @@ func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, er
 	}
 	tr := ob.Tracer()
 
-	m := &machine{cfg: cfg, pageMap: make(map[uint64]uint64)}
+	m := &machine{cfg: cfg}
 	m.insts = w.Build(cfg.ScaleShift)
 
 	// L4 DRAM device, with the bandwidth/latency knobs applied.
@@ -316,11 +402,13 @@ func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, er
 	case "":
 		// hybrid FPC+BDI, the paper's default
 	case "fpc":
-		l4cfg.SingleSizer = func(l []byte) int { return compress.SizeWith(compress.AlgFPC, l) }
-		l4cfg.PairSizer = func(a, b []byte) int { return compress.PairSizeWith(compress.AlgFPC, a, b) }
+		sc := compress.NewSizeCache(0)
+		l4cfg.SingleSizer = func(l []byte) int { return sc.SingleWith(compress.AlgFPC, l) }
+		l4cfg.PairSizer = func(a, b []byte) int { return sc.PairWith(compress.AlgFPC, a, b) }
 	case "bdi":
-		l4cfg.SingleSizer = func(l []byte) int { return compress.SizeWith(compress.AlgBDI, l) }
-		l4cfg.PairSizer = func(a, b []byte) int { return compress.PairSizeWith(compress.AlgBDI, a, b) }
+		sc := compress.NewSizeCache(0)
+		l4cfg.SingleSizer = func(l []byte) int { return sc.SingleWith(compress.AlgBDI, l) }
+		l4cfg.PairSizer = func(a, b []byte) int { return sc.PairWith(compress.AlgBDI, a, b) }
 	default:
 		// Unreachable: Validate rejects unknown algorithms up front.
 		return Result{}, fmt.Errorf("sim: unknown CompressAlg %q", cfg.CompressAlg)
@@ -376,10 +464,13 @@ func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, er
 		if gap == 0 {
 			gap = 1
 		}
-		cs[i] = &core{idx: i, inst: in, gapCycles: gap, refsTarget: warm + refs}
+		cs[i] = &core{
+			idx: i, inst: in, gapCycles: gap, refsTarget: warm + refs,
+			outstanding: make([]uint64, 0, cfg.MLPWindow+1),
+		}
 		h = append(h, cs[i])
 	}
-	heap.Init(&h)
+	h.init()
 
 	// Epoch sampling rides the event loop's virtual clock: the popped
 	// core's clock is nondecreasing, so boundaries are crossed in order.
@@ -402,8 +493,8 @@ func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, er
 	}
 	processed := 0
 
-	for h.Len() > 0 {
-		c := heap.Pop(&h).(*core)
+	for len(h) > 0 {
+		c := h.pop()
 		if et != nil {
 			for et.rec.Due(c.clock) {
 				et.record()
@@ -438,7 +529,7 @@ func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, er
 			capSamples++
 		}
 		if c.refsDone < c.refsTarget {
-			heap.Push(&h, c)
+			h.push(c)
 		}
 	}
 
@@ -501,11 +592,14 @@ func (m *machine) step(c *core) {
 	}
 	now := c.clock
 	// MLP window: block on the oldest outstanding reference if full.
+	// Retire by shifting down in place rather than re-slicing, so the
+	// pre-sized backing array is reused for the whole run.
 	if len(c.outstanding) >= m.cfg.MLPWindow {
 		if t := c.outstanding[0]; t > now {
 			now = t
 		}
-		c.outstanding = c.outstanding[1:]
+		n := copy(c.outstanding, c.outstanding[1:])
+		c.outstanding = c.outstanding[:n]
 	}
 
 	pa := m.translate(c.idx, req.Line)

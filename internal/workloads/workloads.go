@@ -85,6 +85,10 @@ type Instance struct {
 	Gen            trace.Generator
 	// Data returns the 64 bytes of a virtual line.
 	Data func(line uint64) []byte
+	// Fill writes the 64 bytes of a virtual line into a caller-provided
+	// buffer, the allocation-free variant of Data. May be nil, in which
+	// case callers fall back to Data.
+	Fill func(line uint64, buf []byte)
 }
 
 // Build instantiates the workload's cores at 1/2^scaleShift of full
@@ -112,6 +116,7 @@ func (w Workload) Build(scaleShift uint) []Instance {
 				FootprintLines: bg.footprintLines,
 				Gen:            trace.NewLooping(trace.NewReplay(bg.reqs)),
 				Data:           bg.ws.Line,
+				Fill:           bg.ws.FillLine,
 			}
 			continue
 		}
@@ -138,6 +143,7 @@ func (w Workload) Build(scaleShift uint) []Instance {
 			FootprintLines: fp,
 			Gen:            trace.NewSynthetic(cfg),
 			Data:           synth.Line,
+			Fill:           synth.FillLine,
 		}
 	}
 	return out
