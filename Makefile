@@ -41,17 +41,23 @@ fuzz:
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks, then
 # records the per-layer hot-path numbers (ns/ref, allocs/ref, refs/sec)
-# into BENCH_pr4.json under the "pr4" label. Compare against the
-# committed "baseline" label to track the inner-loop trajectory.
+# into BENCH_pr5.json under the "pr5" label. Compare against the
+# committed earlier labels (BENCH_pr4.json) to track the trajectory;
+# the matrix/gap8-{cold,warm} pair is the artifact cache's headline
+# warm-vs-cold wall-clock ratio.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/perfbench -label pr4 -out BENCH_pr4.json
+	$(GO) run ./cmd/perfbench -label pr5 -out BENCH_pr5.json
 
 # Short benchmark smoke pass for CI: a few iterations of every per-layer
 # benchmark, just enough to catch a benchmark that no longer compiles or
-# panics — not a performance measurement.
+# panics — not a performance measurement. The artifact-cache smoke test
+# then runs one GAP experiment matrix twice in-process and asserts the
+# second pass is served from the cache (workloads.CacheStats), guarding
+# against silent caching regressions.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchtime=5x ./internal/compress ./internal/dcache ./internal/sim
+	$(GO) test -run='^$$' -bench=. -benchtime=5x ./internal/compress ./internal/dcache ./internal/dram ./internal/workloads ./internal/sim
+	$(GO) test -run='^TestArtifactCacheSmoke$$' -count=1 -v ./internal/experiments
 
 # The evaluation as readable tables (several minutes).
 evaluate:

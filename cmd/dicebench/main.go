@@ -15,6 +15,9 @@
 // -workers bounds the concurrent simulations (default: one per CPU);
 // results are byte-identical for every worker count because each
 // simulation is a deterministic function of (config, workload).
+// Workload build products (graphs, kernel traces) are cached and shared
+// across the matrix; -artifact-cache=false forces every simulation to
+// build its workload cold, which changes nothing but wall-clock time.
 //
 // -fault-ber/-fault-seed/-fault-policy inject deterministic bit errors
 // into every simulation (the fault-sweep experiment sweeps its own BER
@@ -45,6 +48,7 @@ import (
 	"dice/internal/obs"
 	"dice/internal/parallel"
 	"dice/internal/sim"
+	"dice/internal/workloads"
 )
 
 func main() {
@@ -56,6 +60,7 @@ func main() {
 		faultBER = flag.Float64("fault-ber", 0, "raw bit-error rate injected into every simulation (0 = off)")
 		faultSd  = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
 		faultPol = flag.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)")
+		artCache = flag.Bool("artifact-cache", true, "share built workload artifacts across the matrix (results are identical either way)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		verbose  = flag.Bool("v", false, "print each simulation as it completes")
 
@@ -71,6 +76,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	workloads.SetCacheEnabled(*artCache)
 
 	if *cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(*cpuProfile)

@@ -17,7 +17,9 @@
 // -trace-events prints a timeline of component events (comma-separated
 // components from cip, fault, dcache, dram, sim, or "all");
 // -cpuprofile/-memprofile write pprof profiles of the simulator
-// itself. None of these change simulation results.
+// itself. None of these change simulation results; neither does
+// -artifact-cache=false, which only disables sharing of built workload
+// artifacts between the runs of one process (e.g. with -baseline).
 package main
 
 import (
@@ -51,6 +53,7 @@ func main() {
 		faultPol  = flag.String("fault-policy", "ecc+quarantine", "ECC/recovery policy: none|ecc|ecc+quarantine")
 		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
 		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
+		artCache  = flag.Bool("artifact-cache", true, "share built workload artifacts across runs in this process (results are identical either way)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 
 		metricsOut   = flag.String("metrics-out", "", "write epoch metrics to this file (.csv = CSV, else JSON)")
@@ -65,6 +68,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	workloads.SetCacheEnabled(*artCache)
 
 	if *cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(*cpuProfile)

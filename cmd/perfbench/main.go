@@ -3,7 +3,11 @@
 // repository carries a performance trajectory that future PRs extend
 // (and CI can diff). One entry per layer: hybrid single/pair
 // compression sizing, the DRAM-cache demand path (probe + install +
-// repack), and a full simulation of a fixed mix.
+// repack), the DRAM channel hot paths (Access scheduling and the
+// in-flight queue gauge), workload artifact construction cold vs served
+// from the process-wide cache, a full simulation of a fixed mix, and a
+// GAP 8-configuration matrix cold vs warm (the artifact cache's
+// headline number).
 //
 // Usage:
 //
@@ -32,6 +36,7 @@ import (
 	"dice/internal/data"
 	"dice/internal/dcache"
 	"dice/internal/dram"
+	"dice/internal/experiments"
 	"dice/internal/sim"
 	"dice/internal/workloads"
 )
@@ -223,8 +228,96 @@ func benches() []bench {
 				now += 12
 			}
 		}},
+		{name: "dram/access", refsPerOp: 1, fn: func(b *testing.B) {
+			m := dram.New(dram.HBMConfig())
+			now := uint64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h := uint64(i) * 0x9E3779B97F4A7C15
+				loc := dram.Loc{Channel: int(h % 4), Bank: int(h >> 2 % 16), Row: h >> 6 % 256}
+				m.Access(now, loc, i&7 == 0, 80)
+				now += 6
+			}
+		}},
+		{name: "dram/inflight-total", refsPerOp: 1, fn: func(b *testing.B) {
+			cfg := dram.HBMConfig()
+			m := dram.New(cfg)
+			for c := 0; c < cfg.Channels; c++ {
+				for i := 0; i < cfg.QueueDepth; i++ {
+					m.Access(0, dram.Loc{Channel: c, Bank: 0, Row: 1}, false, 80)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.InFlightTotal(0)
+			}
+		}},
+		{name: "workloads/build-cold", refsPerOp: 1, fn: func(b *testing.B) {
+			w, err := workloads.ByName("cc_twi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The sim-default scale (workloads.Build itself takes the raw
+			// shift; the 0 -> 10 defaulting lives in sim.Config).
+			scale := sim.Config{}.EffectiveScale()
+			workloads.SetCacheEnabled(false)
+			defer workloads.SetCacheEnabled(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Build(scale)
+			}
+		}},
+		{name: "workloads/build-warm", refsPerOp: 1, fn: func(b *testing.B) {
+			w, err := workloads.ByName("cc_twi")
+			if err != nil {
+				b.Fatal(err)
+			}
+			scale := sim.Config{}.EffectiveScale()
+			workloads.SetCacheEnabled(true)
+			w.Warm(scale)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Build(scale)
+			}
+		}},
 		{name: "sim/mix1", refsPerOp: simTotalRefs(), fn: simBench("mix1")},
 		{name: "sim/gcc", refsPerOp: simTotalRefs(), fn: simBench("gcc")},
+		{name: "matrix/gap8-cold", refsPerOp: 8 * simTotalRefs(), fn: matrixBench(false)},
+		{name: "matrix/gap8-warm", refsPerOp: 8 * simTotalRefs(), fn: matrixBench(true)},
+	}
+}
+
+// matrixBench runs a fig10-class slice of the evaluation — one GAP
+// workload under 8 configurations — through the experiment runner, with
+// the artifact cache either cold-disabled (the pre-cache behavior:
+// every simulation rebuilds the graph and kernel trace) or warmed. The
+// warm:cold wall-clock ratio is the artifact cache's headline win.
+func matrixBench(warm bool) func(*testing.B) {
+	return func(b *testing.B) {
+		w, err := workloads.ByName("cc_twi")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs := []string{"base", "tsi", "nsi", "bai", "dice", "scc", "dice-knl", "dice-t32"}
+		workloads.SetCacheEnabled(warm)
+		defer workloads.SetCacheEnabled(true)
+		if warm {
+			w.Warm(sim.Config{}.EffectiveScale())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh runner per op: its per-key memoization must not
+			// absorb the work the artifact cache is being measured on.
+			r := experiments.NewRunner(simRefsPerCore)
+			for _, cfg := range cfgs {
+				r.Run(cfg, w)
+			}
+		}
 	}
 }
 

@@ -136,49 +136,175 @@ type span struct{ start, end uint64 }
 // channel tracks one channel's bus and queue occupancy.
 type channel struct {
 	banks []bank
-	// busy holds the channel bus's reserved transfer windows, sorted by
-	// start time. Transfers are scheduled into the earliest idle gap at
-	// or after their data-ready time (a data bus serves whatever is
-	// ready, not arrival order), bounded to the most recent busWindow
-	// reservations.
-	busy []span
+	// busy holds the channel bus's reserved transfer windows in a fixed
+	// ring of the most recent busWindow reservations, sorted by start
+	// time. Transfers are scheduled into the earliest idle gap at or
+	// after their data-ready time (a data bus serves whatever is ready,
+	// not arrival order). Reservations are disjoint and durations are
+	// positive, so the windows are sorted by end time too — which is
+	// what lets reserveBus skip the already-elapsed prefix with a
+	// binary search instead of a rescan.
+	busy     [busWindow]span
+	busyHead int
+	busyLen  int
 	// queue holds completion times of in-flight requests, a ring used to
 	// model the finite read/write queue of Table 2.
 	queue []uint64
 	head  int
 	count int
+	// minq is a monotonic min-deque over the completion times currently
+	// in queue (a ring of the same capacity, values nondecreasing from
+	// front to back, front == minimum). Maintained in O(1) amortized by
+	// every queue push/pop, it gives InFlight its fast path: when the
+	// probe time is before the earliest completion, every queued request
+	// is still in flight and the answer is count, no scan.
+	minq     []uint64
+	minqHead int
+	minqLen  int
 }
 
-// busWindow bounds the per-channel reservation history.
+// busWindow bounds the per-channel reservation history. Power of two:
+// ring positions wrap with a mask.
 const busWindow = 64
+
+// busAt returns the i-th oldest busy span (0 <= i < busyLen).
+func (ch *channel) busAt(i int) span {
+	return ch.busy[(ch.busyHead+i)&(busWindow-1)]
+}
+
+// busPush appends a span after every existing reservation, dropping the
+// oldest when the window is full.
+func (ch *channel) busPush(b span) {
+	if ch.busyLen == busWindow {
+		ch.busyHead = (ch.busyHead + 1) & (busWindow - 1)
+		ch.busyLen--
+	}
+	ch.busy[(ch.busyHead+ch.busyLen)&(busWindow-1)] = b
+	ch.busyLen++
+}
+
+// busInsert places a span before the current position i, keeping start
+// order. When the window is full the oldest reservation is dropped
+// first — and an insert at position 0 of a full window drops the new
+// span itself, reproducing the bounded-history semantics of the
+// original slice implementation (insert, then trim to the newest
+// busWindow entries).
+func (ch *channel) busInsert(i int, b span) {
+	if ch.busyLen == busWindow {
+		if i == 0 {
+			return // trimmed away immediately: oldest of 65 is the new span
+		}
+		ch.busyHead = (ch.busyHead + 1) & (busWindow - 1)
+		ch.busyLen--
+		i--
+	}
+	for j := ch.busyLen; j > i; j-- {
+		ch.busy[(ch.busyHead+j)&(busWindow-1)] = ch.busy[(ch.busyHead+j-1)&(busWindow-1)]
+	}
+	ch.busy[(ch.busyHead+i)&(busWindow-1)] = b
+	ch.busyLen++
+}
 
 // reserveBus books the first idle window of length dur at or after
 // earliest and returns its start time.
+//
+// Two fast paths cover almost every call: a transfer that becomes ready
+// after every recorded reservation appends in O(1), and one that lands
+// amid the reserved history binary-searches the first window still
+// relevant to it (windows are sorted by end time) instead of rescanning
+// the elapsed prefix. Only the walk across still-overlapping windows —
+// bounded by busWindow, typically one or two iterations — remains.
 func (ch *channel) reserveBus(earliest, dur uint64) uint64 {
-	s := earliest
-	insertAt := len(ch.busy)
-	for i, b := range ch.busy {
-		if b.end <= s {
-			continue
+	n := ch.busyLen
+	if n == 0 || earliest >= ch.busAt(n-1).end {
+		ch.busPush(span{earliest, earliest + dur})
+		return earliest
+	}
+	// First window with end > earliest; everything before it has fully
+	// elapsed and cannot constrain this transfer.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ch.busAt(mid).end <= earliest {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	s := earliest
+	insertAt := n
+	for i := lo; i < n; i++ {
+		b := ch.busAt(i)
 		if b.start >= s+dur {
 			insertAt = i
 			break
 		}
 		s = b.end
 	}
-	// Insert keeping sort order (s >= busy[insertAt-1].end by scan).
-	if insertAt == len(ch.busy) {
-		ch.busy = append(ch.busy, span{s, s + dur})
+	if insertAt == n {
+		ch.busPush(span{s, s + dur})
 	} else {
-		ch.busy = append(ch.busy, span{})
-		copy(ch.busy[insertAt+1:], ch.busy[insertAt:])
-		ch.busy[insertAt] = span{s, s + dur}
-	}
-	if len(ch.busy) > busWindow {
-		ch.busy = ch.busy[len(ch.busy)-busWindow:]
+		ch.busInsert(insertAt, span{s, s + dur})
 	}
 	return s
+}
+
+// minqPush records a newly queued completion time in the min-deque.
+func (ch *channel) minqPush(done uint64) {
+	for ch.minqLen > 0 &&
+		ch.minq[(ch.minqHead+ch.minqLen-1)%len(ch.minq)] > done {
+		ch.minqLen--
+	}
+	ch.minq[(ch.minqHead+ch.minqLen)%len(ch.minq)] = done
+	ch.minqLen++
+}
+
+// minqPop retires a completion time that left the queue (FIFO head).
+func (ch *channel) minqPop(done uint64) {
+	if ch.minqLen > 0 && ch.minq[ch.minqHead] == done {
+		ch.minqHead = (ch.minqHead + 1) % len(ch.minq)
+		ch.minqLen--
+	}
+}
+
+// popHead removes the queue's FIFO head, keeping the min-deque in sync.
+func (ch *channel) popHead(depth int) {
+	ch.minqPop(ch.queue[ch.head])
+	ch.head = (ch.head + 1) % depth
+	ch.count--
+}
+
+// inFlight counts queued requests still incomplete at cycle now. When
+// now precedes the earliest queued completion (the loaded-channel case
+// the callers care about) the answer is the maintained count, O(1);
+// otherwise a branch-per-entry scan over the ring's two contiguous
+// segments resolves the partially drained tail.
+func (ch *channel) inFlight(now uint64) int {
+	if ch.count == 0 {
+		return 0
+	}
+	if now < ch.minq[ch.minqHead] {
+		return ch.count
+	}
+	n := 0
+	depth := len(ch.queue)
+	first := ch.head + ch.count
+	if first > depth {
+		first = depth
+	}
+	for _, t := range ch.queue[ch.head:first] {
+		if t > now {
+			n++
+		}
+	}
+	if wrapped := ch.head + ch.count - depth; wrapped > 0 {
+		for _, t := range ch.queue[:wrapped] {
+			if t > now {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Memory is one DRAM device instance.
@@ -198,6 +324,7 @@ func New(cfg Config) *Memory {
 	for i := range m.channels {
 		m.channels[i].banks = make([]bank, cfg.Banks)
 		m.channels[i].queue = make([]uint64, cfg.QueueDepth)
+		m.channels[i].minq = make([]uint64, cfg.QueueDepth)
 	}
 	return m
 }
@@ -254,13 +381,11 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 			m.stats.QueueStallCycles += oldest - start
 			start = oldest
 		}
-		ch.head = (ch.head + 1) % m.cfg.QueueDepth
-		ch.count--
+		ch.popHead(m.cfg.QueueDepth)
 	} else {
 		// Drain any completed entries so the ring reflects in-flight work.
 		for ch.count > 0 && ch.queue[ch.head] <= start {
-			ch.head = (ch.head + 1) % m.cfg.QueueDepth
-			ch.count--
+			ch.popHead(m.cfg.QueueDepth)
 		}
 	}
 
@@ -319,6 +444,7 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 	tail := (ch.head + ch.count) % m.cfg.QueueDepth
 	ch.queue[tail] = done
 	ch.count++
+	ch.minqPush(done)
 
 	if write {
 		m.stats.Writes++
@@ -333,16 +459,11 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 // InFlight returns how many requests are queued on loc's channel and
 // still incomplete at cycle now. Memory controllers drop or defer
 // low-priority traffic (prefetches) under queue pressure; callers use
-// this to model that throttle.
+// this to model that throttle. O(1) whenever the channel is fully
+// loaded or empty (the cases that drive throttling decisions); see
+// channel.inFlight.
 func (m *Memory) InFlight(now uint64, loc Loc) int {
-	ch := &m.channels[loc.Channel]
-	n := 0
-	for i := 0; i < ch.count; i++ {
-		if ch.queue[(ch.head+i)%m.cfg.QueueDepth] > now {
-			n++
-		}
-	}
-	return n
+	return m.channels[loc.Channel].inFlight(now)
 }
 
 // TraceConflictRun is the per-bank row-switch count threshold at which
@@ -353,16 +474,12 @@ const TraceConflictRun = 16
 
 // InFlightTotal returns how many requests are queued across every
 // channel and still incomplete at cycle now. Read-only: a queue-depth
-// gauge for the epoch metrics recorder.
+// gauge the epoch metrics recorder calls once per epoch — previously an
+// O(channels×queue) rescan, now the per-channel fast path summed.
 func (m *Memory) InFlightTotal(now uint64) int {
 	n := 0
 	for c := range m.channels {
-		ch := &m.channels[c]
-		for i := 0; i < ch.count; i++ {
-			if ch.queue[(ch.head+i)%m.cfg.QueueDepth] > now {
-				n++
-			}
-		}
+		n += m.channels[c].inFlight(now)
 	}
 	return n
 }

@@ -220,8 +220,8 @@ func TestQuickBusReservationsDisjoint(t *testing.T) {
 				return false
 			}
 		}
-		for i := 1; i < len(ch.busy); i++ {
-			if ch.busy[i].start < ch.busy[i-1].end {
+		for i := 1; i < ch.busyLen; i++ {
+			if ch.busAt(i).start < ch.busAt(i-1).end {
 				return false
 			}
 		}

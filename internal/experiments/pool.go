@@ -48,9 +48,50 @@ func (r *Runner) Prefetch(cells ...Cell) {
 // done no further cells start; in-flight simulations complete (their
 // results stay memoized, so a later retry resumes where this left off).
 func (r *Runner) PrefetchCtx(ctx context.Context, cells ...Cell) {
+	r.warmArtifacts(ctx, cells)
 	parallel.ForEachCtx(ctx, r.Workers, len(cells), func(i int) {
 		r.RunConfig(cells[i].Key, cells[i].Cfg, cells[i].W)
 	})
+}
+
+// warmCell is one distinct (workload, scale) build a prefetch pays for
+// up front.
+type warmCell struct {
+	w     workloads.Workload
+	scale uint
+}
+
+// warmArtifacts builds the artifact cache entry for every distinct
+// (workload, effective scale) in cells before the simulation fan-out.
+// Dozens of configs share each workload, so without warming the first
+// worker to reach a workload would build its graphs while the cache's
+// singleflight blocks every other worker needing the same entry —
+// warming moves that serialization ahead of the fan-out and spreads the
+// distinct builds across the pool instead. No-op when the artifact
+// cache is disabled (each run then builds cold by design, and a warm
+// build would be thrown away).
+func (r *Runner) warmArtifacts(ctx context.Context, cells []Cell) {
+	if !workloads.CacheEnabled() {
+		return
+	}
+	var warm []warmCell
+	seen := map[artifactID]bool{}
+	for _, c := range cells {
+		id := artifactID{c.W.Name, c.Cfg.EffectiveScale()}
+		if !seen[id] {
+			seen[id] = true
+			warm = append(warm, warmCell{c.W, id.scale})
+		}
+	}
+	parallel.ForEachCtx(ctx, r.Workers, len(warm), func(i int) {
+		warm[i].w.Warm(warm[i].scale)
+	})
+}
+
+// artifactID mirrors the artifact cache's key for dedup during warming.
+type artifactID struct {
+	name  string
+	scale uint
 }
 
 // RunAll regenerates the given experiments. It submits the union of

@@ -16,6 +16,13 @@ import (
 // Array layout: each array occupies a naturally ordered region starting
 // at the next 1MB boundary after its predecessor, mimicking a heap
 // allocator placing large slices.
+//
+// Immutability contract: once Trace has returned, a Workspace is never
+// written again — the kernel has finished mutating its arrays, and the
+// recorded request slice is fixed. Line and FillLine only read the
+// backing arrays into caller-provided (or freshly allocated) buffers.
+// The workload artifact cache relies on this to share one Workspace
+// across any number of concurrent simulations.
 type Workspace struct {
 	regions []region
 	reqs    []trace.Request

@@ -94,10 +94,19 @@ const (
 	cores       = 8
 )
 
-func (c *Config) setDefaults() {
+// EffectiveScale returns the scale shift a Run with this config actually
+// uses (0 defaults to 10). Callers that pre-build workload artifacts —
+// the experiment runner's cache warming — must key on this, not the raw
+// field, or a default-scale warm would miss.
+func (c Config) EffectiveScale() uint {
 	if c.ScaleShift == 0 {
-		c.ScaleShift = 10
+		return 10
 	}
+	return c.ScaleShift
+}
+
+func (c *Config) setDefaults() {
+	c.ScaleShift = c.EffectiveScale()
 	if c.CapacityMult == 0 {
 		c.CapacityMult = 1
 	}

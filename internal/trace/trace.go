@@ -213,13 +213,18 @@ func (g *Synthetic) redraw() {
 	}
 }
 
-// Replay replays a fixed request slice (used for kernel-generated traces).
+// Replay replays a fixed request slice (used for kernel-generated
+// traces). The slice is borrowed, not copied, and never written: many
+// Replay values may share one backing trace — the workload artifact
+// cache hands the same recorded kernel trace to every concurrent
+// simulation — while each carries its own position.
 type Replay struct {
 	reqs []Request
 	pos  int
 }
 
-// NewReplay wraps a materialized trace.
+// NewReplay wraps a materialized trace. The caller must not mutate reqs
+// afterwards (see the sharing contract on Replay).
 func NewReplay(reqs []Request) *Replay { return &Replay{reqs: reqs} }
 
 // Next implements Generator.

@@ -1,0 +1,254 @@
+package workloads
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dice/internal/data"
+	"dice/internal/graph"
+	"dice/internal/trace"
+)
+
+// Artifacts is the immutable build product of one (workload, scaleShift)
+// pair: sized graphs, recorded kernel request traces, and the synthetic
+// generator/data parameters of every core. Everything reachable from an
+// Artifacts value is read-only after construction — graph workspaces and
+// replay traces are shared by reference across any number of concurrent
+// simulations, while the stateful parts of a run (trace generator
+// positions, RNG streams) are created fresh by Instantiate. That split
+// is what lets the process-wide cache hand one build to the whole
+// experiment matrix without perturbing a single result.
+type Artifacts struct {
+	name       string
+	scaleShift uint
+	cores      []coreArtifact
+}
+
+// coreArtifact captures one core's share of the build. Exactly one of
+// gap (shared graph trace) or synth-config fields is meaningful.
+type coreArtifact struct {
+	name           string
+	mpki           float64
+	footprintLines uint64
+
+	// GAP cores: the built graph workspace and its recorded request
+	// trace, shared read-only across every instantiation.
+	gap *builtGAP
+
+	// Synthetic cores: the generator configuration (including seed) and
+	// the data-image parameters. Generators and Synth values are rebuilt
+	// per instantiation — both are O(1) — so no run-local state leaks
+	// between concurrent simulations.
+	synthCfg trace.SynthConfig
+	dataSeed uint64
+	profile  data.Profile
+}
+
+// Instantiate materializes runnable per-core instances around the shared
+// artifacts: fresh replay/synthetic generators (stateful), fresh data
+// synthesizers (cheap), shared graph workspaces and request slices
+// (immutable). It is safe to call concurrently from any number of
+// goroutines and each call returns fully independent generator state, so
+// simulations built from one Artifacts value are byte-identical to ones
+// built cold.
+func (a *Artifacts) Instantiate() []Instance {
+	out := make([]Instance, len(a.cores))
+	for i, c := range a.cores {
+		if c.gap != nil {
+			out[i] = Instance{
+				Name: c.name, MPKI: c.mpki,
+				FootprintLines: c.footprintLines,
+				Gen:            trace.NewLooping(trace.NewReplay(c.gap.reqs)),
+				Data:           c.gap.ws.Line,
+				Fill:           c.gap.ws.FillLine,
+			}
+			continue
+		}
+		synth := data.NewSynth(c.dataSeed, c.profile)
+		out[i] = Instance{
+			Name: c.name, MPKI: c.mpki,
+			FootprintLines: c.footprintLines,
+			Gen:            trace.NewSynthetic(c.synthCfg),
+			Data:           synth.Line,
+			Fill:           synth.FillLine,
+		}
+	}
+	return out
+}
+
+// buildArtifacts does the expensive, one-time construction work for a
+// workload at 1/2^scaleShift of full scale: graph generation and kernel
+// trace recording for GAP cores (cached per (kernel, input) within the
+// workload, as rate mode runs identical copies), synthetic parameter
+// derivation for SPEC cores.
+func (w Workload) buildArtifacts(scaleShift uint) *Artifacts {
+	a := &Artifacts{name: w.Name, scaleShift: scaleShift,
+		cores: make([]coreArtifact, len(w.Cores))}
+	type gapKey struct {
+		k     graph.Kernel
+		input gapInput
+	}
+	gapCache := map[gapKey]*builtGAP{}
+	for i, cl := range w.Cores {
+		seed := uint64(0xD1CE)<<32 ^ hashName(cl.Name) ^ uint64(i)*0x9E3779B97F4A7C15
+		if cl.kernel != nil {
+			key := gapKey{cl.kernel.k, cl.kernel.input}
+			bg, ok := gapCache[key]
+			if !ok {
+				bg = buildGAP(cl, scaleShift)
+				gapCache[key] = bg
+			}
+			a.cores[i] = coreArtifact{
+				name: cl.Name, mpki: cl.MPKI,
+				footprintLines: bg.footprintLines,
+				gap:            bg,
+			}
+			continue
+		}
+		fp := cl.FootprintBytes >> scaleShift / 64
+		if fp < 1024 {
+			fp = 1024
+		}
+		hot := uint64(float64(fp) * cl.pat.hotFrac)
+		if hot < 64 {
+			hot = 64
+		}
+		a.cores[i] = coreArtifact{
+			name: cl.Name, mpki: cl.MPKI,
+			footprintLines: fp,
+			synthCfg: trace.SynthConfig{
+				FootprintLines: fp,
+				SeqWeight:      cl.pat.seq, SeqRunLen: cl.pat.seqRun,
+				StrideWeight: cl.pat.stride, StrideLines: cl.pat.strideLines,
+				RandWeight: cl.pat.rand,
+				HotWeight:  cl.pat.hot, HotLines: hot,
+				WriteFrac: cl.pat.writeFrac,
+				Seed:      seed,
+			},
+			dataSeed: seed ^ 0xDA7A,
+			profile:  cl.profile,
+		}
+	}
+	return a
+}
+
+// artifactKey identifies one cache entry. Workload names are unique
+// within the catalog; callers constructing ad-hoc Workload values that
+// reuse a cataloged name must disable the cache (SetCacheEnabled) or the
+// cataloged build will shadow theirs.
+type artifactKey struct {
+	name       string
+	scaleShift uint
+}
+
+// artifactEntry is one singleflight slot: the first goroutine to claim a
+// key builds while holding the entry (not the cache lock); everyone else
+// waits on done. A panic during the build is recorded and re-raised in
+// every waiter, mirroring the experiment runner's flight semantics.
+type artifactEntry struct {
+	done     chan struct{}
+	art      *Artifacts
+	panicked any
+}
+
+var (
+	cacheMu      sync.Mutex
+	cacheEntries = map[artifactKey]*artifactEntry{}
+
+	cacheOn     atomic.Bool
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+func init() { cacheOn.Store(true) }
+
+// SetCacheEnabled turns the process-wide artifact cache on or off. It is
+// on by default; off forces every Build back to cold construction (the
+// -artifact-cache=off escape hatch). Disabling does not drop entries
+// already built — re-enabling serves them again.
+func SetCacheEnabled(on bool) { cacheOn.Store(on) }
+
+// CacheEnabled reports whether Build serves from the artifact cache.
+func CacheEnabled() bool { return cacheOn.Load() }
+
+// CacheStats returns the artifact cache's lifetime hit and miss
+// counters. A miss is a cold build performed (and stored) by this
+// process; a hit is a Build or Warm served from an existing entry,
+// including waits on a build already in flight. See METRICS.md.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// ResetCacheStats zeroes the hit/miss counters (entries are kept).
+func ResetCacheStats() {
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}
+
+// DropCache discards every cached artifact and zeroes the counters.
+// Tests use it to force cold builds; production code never needs it
+// (artifacts are bounded by catalog size x distinct scales).
+func DropCache() {
+	cacheMu.Lock()
+	cacheEntries = map[artifactKey]*artifactEntry{}
+	cacheMu.Unlock()
+	ResetCacheStats()
+}
+
+// cachedArtifacts returns the shared build for (w.Name, scaleShift),
+// constructing it exactly once per process (singleflight): concurrent
+// callers for the same key block until the one builder finishes.
+func cachedArtifacts(w Workload, scaleShift uint) *Artifacts {
+	key := artifactKey{w.Name, scaleShift}
+	cacheMu.Lock()
+	e, ok := cacheEntries[key]
+	if !ok {
+		e = &artifactEntry{done: make(chan struct{})}
+		cacheEntries[key] = e
+		cacheMu.Unlock()
+		cacheMisses.Add(1)
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked = r
+				close(e.done)
+				panic(r)
+			}
+		}()
+		e.art = w.buildArtifacts(scaleShift)
+		close(e.done)
+		return e.art
+	}
+	cacheMu.Unlock()
+	<-e.done
+	cacheHits.Add(1)
+	if e.panicked != nil {
+		panic(e.panicked)
+	}
+	return e.art
+}
+
+// Warm ensures the artifacts for (w, scaleShift) are built and cached,
+// blocking until they are. Experiment runners call it for each distinct
+// workload before fanning out the config matrix, so workers never
+// duplicate a graph build racing on a cold cache. No-op (cold Build
+// semantics apply later) when the cache is disabled.
+func (w Workload) Warm(scaleShift uint) {
+	if !CacheEnabled() {
+		return
+	}
+	cachedArtifacts(w, scaleShift)
+}
+
+// Build instantiates the workload's cores at 1/2^scaleShift of full
+// scale. GAP workloads build their graph and kernel trace once and share
+// it across cores (rate mode runs identical copies). With the artifact
+// cache enabled (the default) the expensive build products are further
+// shared process-wide across every Build of the same (name, scaleShift)
+// — each call still returns fresh, independent generator state, so
+// results are byte-identical either way.
+func (w Workload) Build(scaleShift uint) []Instance {
+	if CacheEnabled() {
+		return cachedArtifacts(w, scaleShift).Instantiate()
+	}
+	return w.buildArtifacts(scaleShift).Instantiate()
+}

@@ -91,64 +91,9 @@ type Instance struct {
 	Fill func(line uint64, buf []byte)
 }
 
-// Build instantiates the workload's cores at 1/2^scaleShift of full
-// scale. GAP workloads build their graph and kernel trace once and share
-// it across cores (rate mode runs identical copies).
-func (w Workload) Build(scaleShift uint) []Instance {
-	out := make([]Instance, len(w.Cores))
-	// Cache one built GAP instance per (kernel, input) pair.
-	type gapKey struct {
-		k     graph.Kernel
-		input gapInput
-	}
-	gapCache := map[gapKey]*builtGAP{}
-	for i, cl := range w.Cores {
-		seed := uint64(0xD1CE)<<32 ^ hashName(cl.Name) ^ uint64(i)*0x9E3779B97F4A7C15
-		if cl.kernel != nil {
-			key := gapKey{cl.kernel.k, cl.kernel.input}
-			bg, ok := gapCache[key]
-			if !ok {
-				bg = buildGAP(cl, scaleShift)
-				gapCache[key] = bg
-			}
-			out[i] = Instance{
-				Name: cl.Name, MPKI: cl.MPKI,
-				FootprintLines: bg.footprintLines,
-				Gen:            trace.NewLooping(trace.NewReplay(bg.reqs)),
-				Data:           bg.ws.Line,
-				Fill:           bg.ws.FillLine,
-			}
-			continue
-		}
-		fp := cl.FootprintBytes >> scaleShift / 64
-		if fp < 1024 {
-			fp = 1024
-		}
-		hot := uint64(float64(fp) * cl.pat.hotFrac)
-		if hot < 64 {
-			hot = 64
-		}
-		cfg := trace.SynthConfig{
-			FootprintLines: fp,
-			SeqWeight:      cl.pat.seq, SeqRunLen: cl.pat.seqRun,
-			StrideWeight: cl.pat.stride, StrideLines: cl.pat.strideLines,
-			RandWeight: cl.pat.rand,
-			HotWeight:  cl.pat.hot, HotLines: hot,
-			WriteFrac: cl.pat.writeFrac,
-			Seed:      seed,
-		}
-		synth := data.NewSynth(seed^0xDA7A, cl.profile)
-		out[i] = Instance{
-			Name: cl.Name, MPKI: cl.MPKI,
-			FootprintLines: fp,
-			Gen:            trace.NewSynthetic(cfg),
-			Data:           synth.Line,
-			Fill:           synth.FillLine,
-		}
-	}
-	return out
-}
-
+// builtGAP is the shared, immutable build product of one GAP (kernel,
+// input) pair: the graph workspace (its Line/FillLine closures are pure
+// reads over the finished kernel arrays) and the recorded request trace.
 type builtGAP struct {
 	ws             *graph.Workspace
 	reqs           []trace.Request
