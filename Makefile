@@ -32,32 +32,42 @@ test:
 test-race:
 	$(GO) test -race -timeout 90m ./...
 
-# Short fuzz pass over the validated-decompress boundary (go's fuzzer
-# accepts one target per invocation).
+# Short fuzz pass over the validated-decompress boundary and the
+# event-vs-cycle simulation core equality oracle (go's fuzzer accepts
+# one target per invocation).
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecompressChecked$$' -fuzztime=30s ./internal/compress
 	$(GO) test -run='^$$' -fuzz='^FuzzCompressRoundtrip$$' -fuzztime=30s ./internal/compress
+	$(GO) test -run='^$$' -fuzz='^FuzzEventSchedule$$' -fuzztime=30s ./internal/sim
 
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks, then
 # records the per-layer hot-path numbers (ns/ref, allocs/ref, refs/sec)
-# into BENCH_pr5.json under the "pr5" label. Compare against the
-# committed earlier labels (BENCH_pr4.json) to track the trajectory;
-# the matrix/gap8-{cold,warm} pair is the artifact cache's headline
+# into BENCH_pr6.json under the "pr6" label. BENCH_pr6.json also
+# carries the earlier labels (baseline through pr5) so the trajectory
+# reads from one file; the simcore/{event,cycle} pair is the
+# discrete-event scheduler's dispatch comparison and the
+# matrix/gap8-{cold,warm} pair the artifact cache's headline
 # warm-vs-cold wall-clock ratio.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/perfbench -label pr5 -out BENCH_pr5.json
+	$(GO) run ./cmd/perfbench -label pr6 -out BENCH_pr6.json
 
 # Short benchmark smoke pass for CI: a few iterations of every per-layer
 # benchmark, just enough to catch a benchmark that no longer compiles or
 # panics — not a performance measurement. The artifact-cache smoke test
 # then runs one GAP experiment matrix twice in-process and asserts the
 # second pass is served from the cache (workloads.CacheStats), guarding
-# against silent caching regressions.
+# against silent caching regressions. The event-core smoke (DICE_SMOKE=1
+# gates its wall-clock assertion out of plain `go test ./...`) asserts
+# the discrete-event scheduler still beats the cycle-stepped reference
+# on the idle-heaviest catalog config, and the golden-report run pins
+# the experiment bytes under the event core.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=5x ./internal/compress ./internal/dcache ./internal/dram ./internal/workloads ./internal/sim
 	$(GO) test -run='^TestArtifactCacheSmoke$$' -count=1 -v ./internal/experiments
+	DICE_SMOKE=1 $(GO) test -run='^TestEventCoreSmokeSpeedup$$' -count=1 -v ./internal/sim
+	$(GO) test -run='^TestGoldenReports$$' -count=1 ./internal/experiments
 
 # The evaluation as readable tables (several minutes).
 evaluate:

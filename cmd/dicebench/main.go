@@ -61,6 +61,7 @@ func main() {
 		faultSd  = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
 		faultPol = flag.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)")
 		artCache = flag.Bool("artifact-cache", true, "share built workload artifacts across the matrix (results are identical either way)")
+		simCore  = flag.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		verbose  = flag.Bool("v", false, "print each simulation as it completes")
 
@@ -72,11 +73,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*metricsEpoch, *workers); err != nil {
+	if err := validateFlags(*metricsEpoch, *workers, *simCore); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	workloads.SetCacheEnabled(*artCache)
+	coreKind, _ := sim.ParseCoreKind(*simCore) // validated above
+	sim.SetCoreKind(coreKind)
 
 	if *cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(*cpuProfile)
@@ -176,15 +179,19 @@ func main() {
 // validateFlags rejects flag values whose types permit nonsense the
 // downstream code would only catch as a panic mid-run: a zero metrics
 // epoch (the recorder needs a positive sampling period — previously
-// `-metrics-epoch 0` with -metrics-out panicked inside the runner) and
-// a negative worker count (0 is documented as "one per CPU"; a negative
-// value was silently treated the same, hiding the typo).
-func validateFlags(metricsEpoch uint64, workers int) error {
+// `-metrics-epoch 0` with -metrics-out panicked inside the runner), a
+// negative worker count (0 is documented as "one per CPU"; a negative
+// value was silently treated the same, hiding the typo), and an unknown
+// -sim-core value.
+func validateFlags(metricsEpoch uint64, workers int, simCore string) error {
 	if metricsEpoch == 0 {
 		return fmt.Errorf("-metrics-epoch must be a positive cycle count, got 0")
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = one per CPU, 1 = serial), got %d", workers)
+	}
+	if _, err := sim.ParseCoreKind(simCore); err != nil {
+		return fmt.Errorf("-sim-core: %v", err)
 	}
 	return nil
 }

@@ -54,6 +54,7 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
 		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
 		artCache  = flag.Bool("artifact-cache", true, "share built workload artifacts across runs in this process (results are identical either way)")
+		simCore   = flag.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)")
 		list      = flag.Bool("list", false, "list workloads and exit")
 
 		metricsOut   = flag.String("metrics-out", "", "write epoch metrics to this file (.csv = CSV, else JSON)")
@@ -64,11 +65,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*metricsEpoch, *workers); err != nil {
+	if err := validateFlags(*metricsEpoch, *workers, *simCore); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	workloads.SetCacheEnabled(*artCache)
+	coreKind, _ := sim.ParseCoreKind(*simCore) // validated above
+	sim.SetCoreKind(coreKind)
 
 	if *cpuProfile != "" {
 		stopProf, err := obs.StartCPUProfile(*cpuProfile)
@@ -217,15 +220,19 @@ func main() {
 // validateFlags rejects flag values whose types permit nonsense the
 // downstream code would only catch as a panic mid-run: a zero metrics
 // epoch (the recorder needs a positive sampling period — previously
-// `-metrics-epoch 0` panicked inside obs.NewRecorder) and a negative
+// `-metrics-epoch 0` panicked inside obs.NewRecorder), a negative
 // worker count (0 is documented as "one per CPU"; a negative value was
-// silently treated the same, hiding the typo).
-func validateFlags(metricsEpoch uint64, workers int) error {
+// silently treated the same, hiding the typo), and an unknown -sim-core
+// value.
+func validateFlags(metricsEpoch uint64, workers int, simCore string) error {
 	if metricsEpoch == 0 {
 		return fmt.Errorf("-metrics-epoch must be a positive cycle count, got 0")
 	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = one per CPU, 1 = serial), got %d", workers)
+	}
+	if _, err := sim.ParseCoreKind(simCore); err != nil {
+		return fmt.Errorf("-sim-core: %v", err)
 	}
 	return nil
 }

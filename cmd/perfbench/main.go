@@ -5,9 +5,10 @@
 // compression sizing, the DRAM-cache demand path (probe + install +
 // repack), the DRAM channel hot paths (Access scheduling and the
 // in-flight queue gauge), workload artifact construction cold vs served
-// from the process-wide cache, a full simulation of a fixed mix, and a
-// GAP 8-configuration matrix cold vs warm (the artifact cache's
-// headline number).
+// from the process-wide cache, a full simulation of a fixed mix, the
+// discrete-event versus cycle-stepped simulation cores on one config
+// (the scheduler's headline number), and a GAP 8-configuration matrix
+// cold vs warm (the artifact cache's headline number).
 //
 // Usage:
 //
@@ -286,6 +287,8 @@ func benches() []bench {
 		}},
 		{name: "sim/mix1", refsPerOp: simTotalRefs(), fn: simBench("mix1")},
 		{name: "sim/gcc", refsPerOp: simTotalRefs(), fn: simBench("gcc")},
+		{name: "simcore/event", refsPerOp: simTotalRefs(), fn: simCoreBench(false)},
+		{name: "simcore/cycle", refsPerOp: simTotalRefs(), fn: simCoreBench(true)},
 		{name: "matrix/gap8-cold", refsPerOp: 8 * simTotalRefs(), fn: matrixBench(false)},
 		{name: "matrix/gap8-warm", refsPerOp: 8 * simTotalRefs(), fn: matrixBench(true)},
 	}
@@ -316,6 +319,37 @@ func matrixBench(warm bool) func(*testing.B) {
 			r := experiments.NewRunner(simRefsPerCore)
 			for _, cfg := range cfgs {
 				r.Run(cfg, w)
+			}
+		}
+	}
+}
+
+// simCoreBench pits the two simulation cores against each other on an
+// identical (config, workload) pair: the discrete-event scheduler
+// (sim.RunEvent) versus the cycle-stepped reference (sim.RunReference).
+// Both produce byte-identical Results. The config is the catalog's
+// idle-heaviest (streaming misses, single-slot MLP window) — the same
+// one `make bench-smoke` asserts on — because the dispatch disciplines
+// only differ on idle cycles: every component model is timestamp-lazy,
+// so the cycle-stepped loop's whole overhead is its idle-cycle core
+// scan (see DESIGN.md §12).
+func simCoreBench(cycle bool) func(*testing.B) {
+	return func(b *testing.B) {
+		w, err := workloads.ByName("milc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.Config{Policy: dcache.PolicyUncompressed, RefsPerCore: simRefsPerCore, MLPWindow: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if cycle {
+				_, err = sim.RunReference(cfg, w)
+			} else {
+				_, _, err = sim.RunEvent(cfg, w)
+			}
+			if err != nil {
+				b.Fatal(err)
 			}
 		}
 	}

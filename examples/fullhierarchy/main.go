@@ -101,9 +101,9 @@ func main() {
 		for _, wb := range hier.Fill(line, write) {
 			l4.Writeback(dataAt, wb)
 		}
-		for _, extra := range lr.Extra {
+		if lr.HasExtra {
 			l4Extras++
-			for _, wb := range hier.Fill(extra, false) {
+			for _, wb := range hier.Fill(lr.Extra, false) {
 				l4.Writeback(dataAt, wb)
 			}
 		}

@@ -66,7 +66,9 @@ func run(design core.Design) outcome {
 		for line := uint64(0); line < footprint; line++ {
 			r := cache.Read(now, line)
 			if r.Hit {
-				extras += len(r.Extra)
+				if r.HasExtra {
+					extras++
+				}
 				now = r.Done
 			} else {
 				res := cache.Install(r.Done, line, false)

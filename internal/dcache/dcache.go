@@ -278,6 +278,16 @@ func New(cfg Config) *Cache {
 		sets:      make([]set, cfg.Sets),
 		cip:       NewCIP(cfg.CIPEntries),
 	}
+	// Seed every set with capacity for the common compressed occupancy
+	// from one arena: the first installs into each set then append in
+	// place instead of growing a fresh slice per set (visible as
+	// growslice churn in simulation profiles). Sets needing more than
+	// entryArenaCap lines fall back to ordinary append growth.
+	arena := make([]entry, cfg.Sets*entryArenaCap)
+	for i := range c.sets {
+		base := i * entryArenaCap
+		c.sets[i].entries = arena[base : base : base+entryArenaCap]
+	}
 	if cfg.Policy != PolicyUncompressed && cfg.SingleSizer == nil {
 		c.sizeCache = compress.NewSizeCache(0)
 	}
@@ -581,9 +591,12 @@ type ReadResult struct {
 	// from main memory.
 	Done uint64
 	Hit  bool
-	// Extra lists adjacent lines delivered by the same access (install
-	// candidates for L3). Nil when none.
-	Extra []uint64
+	// Extra is the adjacent line delivered by the same access (an
+	// install candidate for L3), valid when HasExtra is set. A spatial
+	// hit delivers at most the buddy, so a scalar avoids allocating a
+	// slice on the simulator's per-read path.
+	Extra    uint64
+	HasExtra bool
 	// UsedBAI reports where a hit was found (for CIP studies).
 	UsedBAI bool
 	// SecondProbe is true when the alternate location had to be accessed.
@@ -701,9 +714,10 @@ func (c *Cache) finishRead(done uint64, setIdx uint64, line uint64, usedBAI bool
 	res := ReadResult{Done: done, Hit: true, UsedBAI: usedBAI}
 	if c.spatialPolicy() {
 		if j := s.find(Buddy(line)); j >= 0 {
-			res.Extra = append(res.Extra, Buddy(line))
+			res.Extra = Buddy(line)
+			res.HasExtra = true
 			c.stats.Extras++
-			s.touch(s.find(Buddy(line)))
+			s.touch(j)
 		}
 	}
 	return res

@@ -94,7 +94,7 @@ func TestBaselineMissInstallHit(t *testing.T) {
 	if !r2.Hit {
 		t.Fatal("installed line must hit")
 	}
-	if len(r2.Extra) != 0 {
+	if r2.HasExtra {
 		t.Fatal("baseline never returns extras")
 	}
 	s := c.Stats()
@@ -159,7 +159,7 @@ func TestTSINoExtras(t *testing.T) {
 	c.Install(0, 64, false)
 	c.Install(0, 128, false)
 	r := c.Read(10000, 64)
-	if !r.Hit || len(r.Extra) != 0 {
+	if !r.Hit || r.HasExtra {
 		t.Fatalf("TSI must not deliver spatial extras, got %+v", r)
 	}
 }
@@ -177,8 +177,8 @@ func TestBAIPairCoResidencyAndExtras(t *testing.T) {
 	if !r.Hit {
 		t.Fatal("hit expected")
 	}
-	if len(r.Extra) != 1 || r.Extra[0] != 11 {
-		t.Fatalf("extras = %v, want [11]", r.Extra)
+	if !r.HasExtra || r.Extra != 11 {
+		t.Fatalf("extra = (%d, %t), want line 11", r.Extra, r.HasExtra)
 	}
 }
 

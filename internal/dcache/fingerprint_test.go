@@ -1,0 +1,79 @@
+package dcache
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// driveStream replays one deterministic access stream on c.
+func driveStream(c *Cache, seed uint64, n int) {
+	rng := rand.New(rand.NewPCG(seed, 5))
+	now := uint64(0)
+	for i := 0; i < n; i++ {
+		line := uint64(rng.UintN(256))
+		now += uint64(rng.UintN(40))
+		if rng.UintN(4) == 0 {
+			c.Writeback(now, line)
+		} else if r := c.Read(now, line); !r.Hit {
+			c.Install(r.Done, line, false)
+		}
+	}
+}
+
+// TestFingerprintEqualStreams: two caches fed the identical stream must
+// digest identically — the property the sim differential tests build
+// equality of full cache state on.
+func TestFingerprintEqualStreams(t *testing.T) {
+	for _, pol := range []Policy{PolicyUncompressed, PolicyTSI, PolicyDICE} {
+		d := newTestData()
+		d.setRange(0, 128, "small")
+		d.setRange(128, 256, "random")
+		a := newCache(pol, 64, d)
+		b := newCache(pol, 64, d)
+		driveStream(a, 7, 3000)
+		driveStream(b, 7, 3000)
+		if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+			t.Fatalf("policy %v: identical streams digest differently: %#x vs %#x", pol, fa, fb)
+		}
+	}
+}
+
+// TestFingerprintSensitive: the digest must move when cache contents
+// differ — a diverged stream, and a single extra access.
+func TestFingerprintSensitive(t *testing.T) {
+	d := newTestData()
+	d.setRange(0, 256, "small")
+	a := newCache(PolicyDICE, 64, d)
+	b := newCache(PolicyDICE, 64, d)
+	driveStream(a, 7, 3000)
+	driveStream(b, 8, 3000) // different stream
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged streams produced equal fingerprints")
+	}
+
+	c1 := newCache(PolicyDICE, 64, d)
+	c2 := newCache(PolicyDICE, 64, d)
+	driveStream(c1, 7, 3000)
+	driveStream(c2, 7, 3000)
+	d.set(1000, "small")
+	c2.Install(1_000_000, 1000, false) // one extra line installed
+	if c1.Fingerprint() == c2.Fingerprint() {
+		t.Fatal("extra access did not change the fingerprint")
+	}
+}
+
+// TestFingerprintIgnoresStats: statistics are observational, not
+// architectural — resetting them must not move the digest (the sim
+// resets shared-structure stats at the warm boundary, and both cores
+// must fingerprint identically across it).
+func TestFingerprintIgnoresStats(t *testing.T) {
+	d := newTestData()
+	d.setRange(0, 256, "small")
+	c := newCache(PolicyDICE, 64, d)
+	driveStream(c, 7, 2000)
+	before := c.Fingerprint()
+	c.ResetStats()
+	if after := c.Fingerprint(); after != before {
+		t.Fatalf("ResetStats moved the fingerprint: %#x -> %#x", before, after)
+	}
+}

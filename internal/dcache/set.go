@@ -56,6 +56,12 @@ type entry struct {
 
 // set holds the resident lines of one physical set frame in LRU order
 // (index 0 = most recent).
+// entryArenaCap is the per-set entry capacity carved from the cache's
+// shared arena at construction: four lines covers the typical
+// compressed occupancy (two pairs per 72B TAD), so steady-state
+// installs never grow the slice.
+const entryArenaCap = 4
+
 type set struct {
 	entries []entry
 }

@@ -148,10 +148,14 @@ type channel struct {
 	busyHead int
 	busyLen  int
 	// queue holds completion times of in-flight requests, a ring used to
-	// model the finite read/write queue of Table 2.
-	queue []uint64
-	head  int
-	count int
+	// model the finite read/write queue of Table 2. The backing arrays
+	// are padded to a power of two so every wraparound is a mask
+	// (ringMask) instead of a divide; fullness is still judged against
+	// the configured QueueDepth, never the padded capacity.
+	queue    []uint64
+	head     int
+	count    int
+	ringMask int
 	// minq is a monotonic min-deque over the completion times currently
 	// in queue (a ring of the same capacity, values nondecreasing from
 	// front to back, front == minimum). Maintained in O(1) amortized by
@@ -252,25 +256,25 @@ func (ch *channel) reserveBus(earliest, dur uint64) uint64 {
 // minqPush records a newly queued completion time in the min-deque.
 func (ch *channel) minqPush(done uint64) {
 	for ch.minqLen > 0 &&
-		ch.minq[(ch.minqHead+ch.minqLen-1)%len(ch.minq)] > done {
+		ch.minq[(ch.minqHead+ch.minqLen-1)&ch.ringMask] > done {
 		ch.minqLen--
 	}
-	ch.minq[(ch.minqHead+ch.minqLen)%len(ch.minq)] = done
+	ch.minq[(ch.minqHead+ch.minqLen)&ch.ringMask] = done
 	ch.minqLen++
 }
 
 // minqPop retires a completion time that left the queue (FIFO head).
 func (ch *channel) minqPop(done uint64) {
 	if ch.minqLen > 0 && ch.minq[ch.minqHead] == done {
-		ch.minqHead = (ch.minqHead + 1) % len(ch.minq)
+		ch.minqHead = (ch.minqHead + 1) & ch.ringMask
 		ch.minqLen--
 	}
 }
 
 // popHead removes the queue's FIFO head, keeping the min-deque in sync.
-func (ch *channel) popHead(depth int) {
+func (ch *channel) popHead() {
 	ch.minqPop(ch.queue[ch.head])
-	ch.head = (ch.head + 1) % depth
+	ch.head = (ch.head + 1) & ch.ringMask
 	ch.count--
 }
 
@@ -312,6 +316,30 @@ type Memory struct {
 	cfg      Config
 	channels []channel
 	stats    Stats
+	// Decode fast path: when every geometry term is a power of two
+	// (true for all shipped configs), the address split becomes three
+	// shift/mask pairs instead of four hardware divides. decodeShifts
+	// is false for exotic geometries, which fall back to the divides.
+	decodeShifts bool
+	ivShift      uint   // log2(InterleaveBytes)
+	chMask       uint64 // Channels-1
+	chShift      uint   // log2(Channels)
+	rowChunkBits uint   // log2(chunksPerRow)
+	bankMask     uint64 // Banks-1
+	bankShift    uint   // log2(Banks)
+}
+
+// log2OfPow2 returns (log2(n), true) when n is a positive power of two.
+func log2OfPow2(n uint64) (uint, bool) {
+	if n == 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s, true
 }
 
 // New builds a Memory from cfg. It panics on invalid configuration:
@@ -321,10 +349,32 @@ func New(cfg Config) *Memory {
 		panic(err)
 	}
 	m := &Memory{cfg: cfg, channels: make([]channel, cfg.Channels)}
+	ringCap := 1
+	for ringCap < cfg.QueueDepth {
+		ringCap <<= 1
+	}
 	for i := range m.channels {
 		m.channels[i].banks = make([]bank, cfg.Banks)
-		m.channels[i].queue = make([]uint64, cfg.QueueDepth)
-		m.channels[i].minq = make([]uint64, cfg.QueueDepth)
+		m.channels[i].queue = make([]uint64, ringCap)
+		m.channels[i].minq = make([]uint64, ringCap)
+		m.channels[i].ringMask = ringCap - 1
+	}
+	chunksPerRow := uint64(cfg.RowBytes / cfg.InterleaveBytes)
+	if chunksPerRow == 0 {
+		chunksPerRow = 1
+	}
+	ivs, ok1 := log2OfPow2(uint64(cfg.InterleaveBytes))
+	chs, ok2 := log2OfPow2(uint64(cfg.Channels))
+	rcs, ok3 := log2OfPow2(chunksPerRow)
+	bks, ok4 := log2OfPow2(uint64(cfg.Banks))
+	if ok1 && ok2 && ok3 && ok4 {
+		m.decodeShifts = true
+		m.ivShift = ivs
+		m.chMask = uint64(cfg.Channels) - 1
+		m.chShift = chs
+		m.rowChunkBits = rcs
+		m.bankMask = uint64(cfg.Banks) - 1
+		m.bankShift = bks
 	}
 	return m
 }
@@ -344,6 +394,15 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // row-granularity interleave, addresses within one row share a bank and
 // row — the property the DRAM cache relies on for BAI's neighbor sets.
 func (m *Memory) Decode(addr uint64) Loc {
+	if m.decodeShifts {
+		chunk := addr >> m.ivShift
+		rowChunk := (chunk >> m.chShift) >> m.rowChunkBits
+		return Loc{
+			Channel: int(chunk & m.chMask),
+			Bank:    int(rowChunk & m.bankMask),
+			Row:     rowChunk >> m.bankShift,
+		}
+	}
 	chunk := addr / uint64(m.cfg.InterleaveBytes)
 	ch := int(chunk % uint64(m.cfg.Channels))
 	rest := chunk / uint64(m.cfg.Channels)
@@ -381,11 +440,11 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 			m.stats.QueueStallCycles += oldest - start
 			start = oldest
 		}
-		ch.popHead(m.cfg.QueueDepth)
+		ch.popHead()
 	} else {
 		// Drain any completed entries so the ring reflects in-flight work.
 		for ch.count > 0 && ch.queue[ch.head] <= start {
-			ch.popHead(m.cfg.QueueDepth)
+			ch.popHead()
 		}
 	}
 
@@ -402,7 +461,11 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 	default:
 		m.stats.RowConflicts++
 		bk.confRun++
-		if bk.confRun >= TraceConflictRun && bk.confRun%TraceConflictRun == 0 {
+		// The Enabled guard keeps the disabled path free of the varargs
+		// boxing Emitf's own guard cannot avoid (conflict runs are
+		// common enough for the allocation to show in profiles).
+		if bk.confRun >= TraceConflictRun && bk.confRun%TraceConflictRun == 0 &&
+			m.cfg.Trace.Enabled(obs.CompDRAM) {
 			m.cfg.Trace.Emitf(cmdStart, obs.CompDRAM, "row-conflict-run",
 				"%s ch%d bank%d: %d row switches on this bank (latest row %d)",
 				m.cfg.Name, loc.Channel, loc.Bank, bk.confRun, loc.Row)
@@ -441,7 +504,7 @@ func (m *Memory) Access(now uint64, loc Loc, write bool, burstBytes int) uint64 
 	m.stats.BusBusyCycles += burst
 
 	// Record in-flight completion in the queue ring.
-	tail := (ch.head + ch.count) % m.cfg.QueueDepth
+	tail := (ch.head + ch.count) & ch.ringMask
 	ch.queue[tail] = done
 	ch.count++
 	ch.minqPush(done)
@@ -487,6 +550,34 @@ func (m *Memory) InFlightTotal(now uint64) int {
 // AccessAddr is Access with address decoding.
 func (m *Memory) AccessAddr(now uint64, addr uint64, write bool, burstBytes int) uint64 {
 	return m.Access(now, m.Decode(addr), write, burstBytes)
+}
+
+// NextBusFree returns the cycle by which every current bus reservation
+// on loc's channel has drained — the channel's next bus-free epoch,
+// equal to the largest completion cycle Access has returned for the
+// channel (0 before any access). The busy ring is kept sorted by both
+// start and end, so this is the last span's end, O(1). Event
+// schedulers use it (with NextCompletion) as a channel ready-time: no
+// new request on the channel can finish a burst before it.
+func (m *Memory) NextBusFree(loc Loc) uint64 {
+	ch := &m.channels[loc.Channel]
+	if ch.busyLen == 0 {
+		return 0
+	}
+	return ch.busAt(ch.busyLen - 1).end
+}
+
+// NextCompletion returns the earliest completion cycle among requests
+// currently queued on loc's channel — the channel's next in-flight-
+// completion epoch, the front of the monotonic min-deque, O(1). ok is
+// false when the queue is empty (no epoch pending). Event schedulers
+// use it as the wakeup time at which queue-full stalls can unblock.
+func (m *Memory) NextCompletion(loc Loc) (done uint64, ok bool) {
+	ch := &m.channels[loc.Channel]
+	if ch.count == 0 {
+		return 0, false
+	}
+	return ch.minq[ch.minqHead], true
 }
 
 // PeakBandwidth returns the aggregate peak bus bandwidth in bytes per CPU

@@ -205,6 +205,14 @@ func (m *Model) Policy() Policy { return m.cfg.Policy }
 // Stats returns a copy of the accumulated counters.
 func (m *Model) Stats() Stats { return m.stats }
 
+// Tick reports how many random draws the model has consumed. The draw
+// stream is a pure function of (Seed, tick), so two models with equal
+// seeds and equal ticks are in identical states and will produce
+// identical outcome sequences — the differential tests use this to
+// prove the event-driven and cycle-stepped simulator cores consume the
+// fault stream in lockstep.
+func (m *Model) Tick() uint64 { return m.tick }
+
 // ResetStats zeroes the counters; the draw sequence continues (ticks are
 // not rewound, so warmup and measurement share one fault stream).
 func (m *Model) ResetStats() { m.stats = Stats{} }

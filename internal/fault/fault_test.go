@@ -218,3 +218,40 @@ func TestDumpOrdersCounters(t *testing.T) {
 		t.Fatalf("frames = %d", set.Get("frames"))
 	}
 }
+
+// TestTickCountsDraws pins the Tick accessor's contract: one tick per
+// 8-byte word drawn, monotone, untouched by ResetStats, and equal ticks
+// on equal-seed models imply identical future outcomes (the stream-
+// alignment property the sim differential tests assert through it).
+func TestTickCountsDraws(t *testing.T) {
+	cfg := Config{BER: 2e-3, Seed: 9, Policy: PolicyECC}
+	m := mustModel(t, cfg)
+	if m.Tick() != 0 {
+		t.Fatalf("fresh model tick = %d, want 0", m.Tick())
+	}
+	m.ReadFrame(80) // 10 words
+	if m.Tick() != 10 {
+		t.Fatalf("after one 80B frame tick = %d, want 10", m.Tick())
+	}
+	m.ReadFrame(72) // 9 words
+	if m.Tick() != 19 {
+		t.Fatalf("after 80B+72B frames tick = %d, want 19", m.Tick())
+	}
+	m.ResetStats()
+	if m.Tick() != 19 {
+		t.Fatalf("ResetStats moved tick to %d, want 19 (stream must not rewind)", m.Tick())
+	}
+
+	// Equal seed + equal tick => identical continuations.
+	other := mustModel(t, cfg)
+	other.ReadFrame(80)
+	other.ReadFrame(72)
+	if other.Tick() != m.Tick() {
+		t.Fatalf("tick mismatch: %d vs %d", other.Tick(), m.Tick())
+	}
+	for i := 0; i < 1_000; i++ {
+		if a, b := m.ReadFrame(80), other.ReadFrame(80); a != b {
+			t.Fatalf("frame %d: aligned ticks diverged (%v vs %v)", i, a, b)
+		}
+	}
+}

@@ -5,55 +5,107 @@ import (
 	"testing"
 )
 
-// TestCoreHeapOrdering checks the hand-rolled heap pops cores in
-// (clock, idx) order — the strict total order the event loop's
-// determinism rests on — across random push/pop interleavings.
-func TestCoreHeapOrdering(t *testing.T) {
+// TestEventHeapOrdering checks the hand-rolled heap pops events in
+// (when, kind, core-index) order — the strict total order the event
+// core's determinism rests on — across random push/pop interleavings
+// mixing core and epoch events.
+func TestEventHeapOrdering(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + rng.Intn(16)
-		var h coreHeap
+		var h eventHeap
 		for i := 0; i < n; i++ {
-			h = append(h, &core{idx: i, clock: uint64(rng.Intn(8))})
-		}
-		h.init()
-		var prev *core
-		for len(h) > 0 {
-			c := h.pop()
-			if prev != nil {
-				if c.clock < prev.clock || (c.clock == prev.clock && c.idx < prev.idx) {
-					t.Fatalf("trial %d: popped (%d,%d) after (%d,%d)",
-						trial, c.clock, c.idx, prev.clock, prev.idx)
-				}
+			ev := schedEvent{when: uint64(rng.Intn(8))}
+			if rng.Intn(4) == 0 {
+				ev.kind = evEpoch
+			} else {
+				ev.kind = evCore
+				ev.c = &core{idx: i}
 			}
-			prev = c
-			// Re-push with a later clock half the time, like the event loop.
-			if rng.Intn(2) == 0 && len(h) < n {
-				c.clock += uint64(1 + rng.Intn(4))
-				h.push(c)
+			h = append(h, ev)
+		}
+		// Heapify by re-pushing (append above built an arbitrary slice).
+		raw := append(eventHeap(nil), h...)
+		h = h[:0]
+		for _, ev := range raw {
+			h.push(ev)
+		}
+		var prev *schedEvent
+		for len(h) > 0 {
+			ev := h.pop()
+			if prev != nil && ev.before(*prev) {
+				t.Fatalf("trial %d: popped (%d,%d) after (%d,%d)",
+					trial, ev.when, ev.kind, prev.when, prev.kind)
+			}
+			p := ev
+			prev = &p
+			// Re-push with a later time half the time, like the scheduler.
+			if ev.kind == evCore && rng.Intn(2) == 0 && len(h) < n {
+				ev.when += uint64(1 + rng.Intn(4))
+				h.push(ev)
 				prev = nil
 			}
 		}
 	}
 }
 
-// TestCoreHeapPopClearsSlot is the regression test for the heap-slot
-// leak: the former container/heap-based Pop re-sliced the backing array
-// without nilling the vacated slot, so the last-popped *core stayed
-// reachable (pinning the core and everything it references) for as long
-// as the slice's backing array lived.
-func TestCoreHeapPopClearsSlot(t *testing.T) {
-	h := make(coreHeap, 0, 8)
+// TestEventHeapSameCycleOrder pins the same-cycle tie-breaks the
+// determinism argument depends on: epoch events precede core events at
+// an equal cycle, and same-cycle core events dispatch in core-index
+// order.
+func TestEventHeapSameCycleOrder(t *testing.T) {
+	var h eventHeap
+	for _, idx := range []int{5, 2, 7, 0, 3} {
+		h.push(schedEvent{when: 10, kind: evCore, c: &core{idx: idx}})
+	}
+	h.push(schedEvent{when: 10, kind: evEpoch})
+	h.push(schedEvent{when: 9, kind: evCore, c: &core{idx: 6}})
+
+	want := []struct {
+		when uint64
+		kind eventKind
+		idx  int
+	}{
+		{9, evCore, 6},
+		{10, evEpoch, -1},
+		{10, evCore, 0},
+		{10, evCore, 2},
+		{10, evCore, 3},
+		{10, evCore, 5},
+		{10, evCore, 7},
+	}
+	for i, w := range want {
+		ev := h.pop()
+		if ev.when != w.when || ev.kind != w.kind {
+			t.Fatalf("pop %d: got (when=%d, kind=%d), want (when=%d, kind=%d)",
+				i, ev.when, ev.kind, w.when, w.kind)
+		}
+		if w.kind == evCore && ev.c.idx != w.idx {
+			t.Fatalf("pop %d: got core %d, want core %d", i, ev.c.idx, w.idx)
+		}
+	}
+	if len(h) != 0 {
+		t.Fatalf("heap not drained: %d events left", len(h))
+	}
+}
+
+// TestEventHeapPopClearsSlot is the regression test for the heap-slot
+// leak carried over from the retired coreHeap: pop must nil the vacated
+// slot's core pointer so the last-popped *core doesn't stay reachable
+// (pinning the core and everything it references) for as long as the
+// slice's backing array lives.
+func TestEventHeapPopClearsSlot(t *testing.T) {
+	h := make(eventHeap, 0, 8)
 	for i := 0; i < 8; i++ {
-		h.push(&core{idx: i, clock: uint64(100 - i)})
+		h.push(schedEvent{when: uint64(100 - i), kind: evCore, c: &core{idx: i}})
 	}
 	for len(h) > 0 {
 		h.pop()
 	}
 	// Every slot of the backing array must have been cleared on pop.
-	for i, c := range h[:cap(h)] {
-		if c != nil {
-			t.Fatalf("backing array slot %d still pins core %d after pop", i, c.idx)
+	for i, ev := range h[:cap(h)] {
+		if ev.c != nil {
+			t.Fatalf("backing array slot %d still pins core %d after pop", i, ev.c.idx)
 		}
 	}
 }

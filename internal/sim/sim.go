@@ -13,7 +13,6 @@ import (
 	"fmt"
 
 	"dice/internal/cache"
-	"dice/internal/compress"
 	"dice/internal/dcache"
 	"dice/internal/dram"
 	"dice/internal/energy"
@@ -203,82 +202,6 @@ type core struct {
 	refsTarget  int
 }
 
-// coreHeap is a binary min-heap of cores ordered by clock (ties by
-// index, for determinism). It is hand-rolled rather than built on
-// container/heap: the event loop pushes and pops every simulated
-// reference, and the standard library's interface-based API boxes each
-// *core into an `any` on the way through. The ordering is a strict
-// total order (indices are unique), so the pop sequence is uniquely
-// determined regardless of internal layout.
-type coreHeap []*core
-
-func (h coreHeap) less(i, j int) bool {
-	if h[i].clock != h[j].clock {
-		return h[i].clock < h[j].clock
-	}
-	return h[i].idx < h[j].idx
-}
-
-// init establishes the heap invariant over arbitrary contents.
-func (h coreHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.down(i)
-	}
-}
-
-func (h *coreHeap) push(c *core) {
-	*h = append(*h, c)
-	h.up(len(*h) - 1)
-}
-
-// pop removes and returns the earliest core. The vacated tail slot is
-// cleared so the backing array does not pin the popped *core — the old
-// container/heap-based Pop re-sliced without nilling the slot, leaving a
-// stale pointer live in the array for the remainder of the run
-// (regression-tested by TestCoreHeapPopClearsSlot).
-func (h *coreHeap) pop() *core {
-	old := *h
-	n := len(old) - 1
-	old[0], old[n] = old[n], old[0]
-	c := old[n]
-	old[n] = nil
-	*h = old[:n]
-	if n > 0 {
-		(*h).down(0)
-	}
-	return c
-}
-
-func (h coreHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h coreHeap) down(i int) {
-	n := len(h)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && h.less(r, l) {
-			m = r
-		}
-		if !h.less(m, i) {
-			break
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-}
-
 // machine is the assembled system.
 type machine struct {
 	cfg   Config
@@ -368,227 +291,17 @@ func Run(cfg Config, w workloads.Workload) (Result, error) {
 // returned Result is byte-identical to Run's for the same (cfg, w),
 // with or without an observer, which the determinism tests enforce. A
 // nil observer makes RunObserved exactly Run.
+//
+// The simulation executes on the process-selected core (SetCoreKind):
+// the discrete-event scheduler by default, or the cycle-stepped
+// reference. Both produce byte-identical Results and epoch exports for
+// every (cfg, w) — the differential tests enforce it.
 func RunObserved(cfg Config, w workloads.Workload, ob *obs.Observer) (Result, error) {
-	cfg.setDefaults()
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+	if CurrentCoreKind() == CoreCycle {
+		return RunReferenceObserved(cfg, w, ob)
 	}
-	tr := ob.Tracer()
-
-	m := &machine{cfg: cfg}
-	m.insts = w.Build(cfg.ScaleShift)
-
-	// L4 DRAM device, with the bandwidth/latency knobs applied.
-	hbmCfg := dram.HBMConfig()
-	hbmCfg.Channels *= cfg.BWMult
-	if cfg.HalfLatency {
-		hbmCfg.TCAS /= 2
-		hbmCfg.TRCD /= 2
-		hbmCfg.TRP /= 2
-		hbmCfg.TRAS /= 2
-	}
-	hbmCfg.Name, hbmCfg.Trace = "l4", tr
-	ddrCfg := dram.DDRConfig()
-	ddrCfg.Name, ddrCfg.Trace = "ddr", tr
-	m.hbm = dram.New(hbmCfg)
-	m.ddr = dram.New(ddrCfg)
-
-	sets := (fullL4Sets >> cfg.ScaleShift) * cfg.CapacityMult
-	if sets < 64 {
-		sets = 64
-	}
-	l4cfg := dcache.Config{
-		Sets:       sets,
-		Policy:     cfg.Policy,
-		Org:        cfg.Org,
-		Threshold:  cfg.Threshold,
-		CIPEntries: cfg.CIPEntries,
-		Mem:        m.hbm,
-		Data:       m,
-		Trace:      tr,
-	}
-	switch cfg.CompressAlg {
-	case "":
-		// hybrid FPC+BDI, the paper's default
-	case "fpc":
-		sc := compress.NewSizeCache(0)
-		l4cfg.SingleSizer = func(l []byte) int { return sc.SingleWith(compress.AlgFPC, l) }
-		l4cfg.PairSizer = func(a, b []byte) int { return sc.PairWith(compress.AlgFPC, a, b) }
-	case "bdi":
-		sc := compress.NewSizeCache(0)
-		l4cfg.SingleSizer = func(l []byte) int { return sc.SingleWith(compress.AlgBDI, l) }
-		l4cfg.PairSizer = func(a, b []byte) int { return sc.PairWith(compress.AlgBDI, a, b) }
-	default:
-		// Unreachable: Validate rejects unknown algorithms up front.
-		return Result{}, fmt.Errorf("sim: unknown CompressAlg %q", cfg.CompressAlg)
-	}
-	var fm *fault.Model
-	if cfg.FaultBER > 0 {
-		pol, err := fault.ParsePolicy(cfg.FaultPolicy)
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: %v", err)
-		}
-		fm, err = fault.New(fault.Config{BER: cfg.FaultBER, Seed: cfg.FaultSeed, Policy: pol})
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: %v", err)
-		}
-		l4cfg.Faults = fm
-	}
-	m.l4 = dcache.New(l4cfg)
-
-	l3Bytes := fullL3Bytes >> cfg.ScaleShift
-	if l3Bytes < 64*64*l3Ways {
-		l3Bytes = 64 * 64 * l3Ways
-	}
-	m.l3 = cache.New(cache.Config{
-		SizeBytes: l3Bytes, Ways: l3Ways, LineBytes: 64, HitLatency: l3HitLat,
-	})
-	m.mapi = dcache.NewMAPI(4096)
-
-	// Size the run.
-	refs := cfg.RefsPerCore
-	if refs == 0 {
-		maxFP := uint64(0)
-		for _, in := range m.insts {
-			if in.FootprintLines > maxFP {
-				maxFP = in.FootprintLines
-			}
-		}
-		refs = int(5 * maxFP)
-		if refs < 120_000 {
-			refs = 120_000
-		}
-		if refs > 400_000 {
-			refs = 400_000
-		}
-	}
-	warm := int(float64(refs) * cfg.WarmupFrac)
-
-	cs := make([]*core, cores)
-	h := make(coreHeap, 0, cores)
-	for i := range cs {
-		in := m.insts[i%len(m.insts)]
-		instrPerRef := 1200 / in.MPKI
-		gap := uint64(instrPerRef / issueWidth)
-		if gap == 0 {
-			gap = 1
-		}
-		cs[i] = &core{
-			idx: i, inst: in, gapCycles: gap, refsTarget: warm + refs,
-			outstanding: make([]uint64, 0, cfg.MLPWindow+1),
-		}
-		h = append(h, cs[i])
-	}
-	h.init()
-
-	// Epoch sampling rides the event loop's virtual clock: the popped
-	// core's clock is nondecreasing, so boundaries are crossed in order.
-	var et *epochTracker
-	if rec := ob.Recorder(); rec != nil {
-		et = newEpochTracker(rec, m, fm, cs)
-	}
-
-	// Phase bookkeeping. Each core's measured window starts when that
-	// core passes its own warmup point (cores proceed at very different
-	// rates under contention); shared-structure statistics reset once
-	// every core is warm.
-	warmClock := make([]uint64, cores)
-	warmedCores := 0
-	warmed := false
-	var capSamples, capSum float64
-	sampleEvery := (refs * cores) / 64
-	if sampleEvery == 0 {
-		sampleEvery = 1
-	}
-	processed := 0
-
-	for len(h) > 0 {
-		c := h.pop()
-		if et != nil {
-			for et.rec.Due(c.clock) {
-				et.record()
-			}
-		}
-		m.step(c)
-		c.refsDone++
-		processed++
-
-		if c.refsDone == warm {
-			warmClock[c.idx] = c.clock
-			warmedCores++
-			if warmedCores == cores {
-				warmed = true
-				m.l3.ResetStats()
-				m.l4.ResetStats()
-				m.hbm.ResetStats()
-				m.ddr.ResetStats()
-				if fm != nil {
-					// Counters restart with the measured window; the fault
-					// stream itself keeps advancing (no tick rewind).
-					fm.ResetStats()
-				}
-				if tr.Enabled(obs.CompSim) {
-					tr.Emitf(c.clock, obs.CompSim, "measurement-start",
-						"all %d cores warm, shared-structure stats reset", cores)
-				}
-			}
-		}
-		if warmed && processed%sampleEvery == 0 {
-			capSum += m.l4.EffectiveCapacity()
-			capSamples++
-		}
-		if c.refsDone < c.refsTarget {
-			h.push(c)
-		}
-	}
-
-	// Compute per-core IPC over the measured window.
-	res := Result{Workload: w.Name, Config: cfg, IPC: make([]float64, cores)}
-	var maxFinish, minStart uint64
-	minStart = ^uint64(0)
-	for i, c := range cs {
-		finish := c.clock
-		for _, t := range c.outstanding {
-			if t > finish {
-				finish = t
-			}
-		}
-		start := warmClock[i]
-		if warm == 0 {
-			start = 0
-		}
-		span := finish - start
-		if span == 0 {
-			span = 1
-		}
-		instr := float64(refs) * (1200 / c.inst.MPKI)
-		res.IPC[i] = instr / float64(span)
-		if finish > maxFinish {
-			maxFinish = finish
-		}
-		if start < minStart {
-			minStart = start
-		}
-	}
-	res.Cycles = maxFinish - minStart
-	res.L3 = m.l3.Stats()
-	res.L4 = m.l4.Stats()
-	res.HBM = m.hbm.Stats()
-	res.DDR = m.ddr.Stats()
-	res.Energy = energy.Compute(res.HBM, res.DDR, res.Cycles)
-	res.CIPAccuracy = m.l4.CIP().Accuracy()
-	res.CIPPredictions = m.l4.CIP().Predictions()
-	res.MAPIAccuracy = m.mapi.Accuracy()
-	if capSamples > 0 {
-		res.EffCapacity = capSum / capSamples
-	} else {
-		res.EffCapacity = m.l4.EffectiveCapacity()
-	}
-	if fm != nil {
-		res.Fault = fm.Stats()
-	}
-	res.QuarantinedSets = m.l4.QuarantineCount()
-	return res, nil
+	res, _, err := RunEventObserved(cfg, w, ob)
+	return res, err
 }
 
 // step processes one reference of core c, advancing its clock.
@@ -695,8 +408,8 @@ func (m *machine) accessMemSystem(now uint64, pa uint64, write bool, demand bool
 	// Fill L3 with the demand line, plus any adjacent lines the L4
 	// delivered for free (the DICE/BAI bandwidth benefit, Table 6).
 	m.installL3(dataAt, pa, write)
-	for _, extra := range r.Extra {
-		m.installL3(dataAt, extra, false)
+	if r.HasExtra {
+		m.installL3(dataAt, r.Extra, false)
 	}
 	return dataAt
 }
