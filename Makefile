@@ -2,11 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test test-race fuzz vet lint bench bench-smoke evaluate examples clean
+.PHONY: all build test test-race fuzz vet lint bench bench-smoke soak daemon-smoke evaluate examples clean
 
 # LINTDOC_PKGS are the packages held to the 100%-documented bar; grow
 # the list as packages reach it.
-LINTDOC_PKGS = ./internal/obs ./internal/fault ./internal/parallel
+LINTDOC_PKGS = ./internal/obs ./internal/fault ./internal/parallel \
+	./internal/serve ./internal/serve/client ./internal/sigctx \
+	./internal/leakcheck
 
 all: build vet lint test
 
@@ -68,6 +70,22 @@ bench-smoke:
 	$(GO) test -run='^TestArtifactCacheSmoke$$' -count=1 -v ./internal/experiments
 	DICE_SMOKE=1 $(GO) test -run='^TestEventCoreSmokeSpeedup$$' -count=1 -v ./internal/sim
 	$(GO) test -run='^TestGoldenReports$$' -count=1 ./internal/experiments
+
+# Daemon load/soak proof under the race detector: 200 concurrent
+# submissions through the retrying client against a queue bounded at
+# 32 (so backpressure 429s are exercised and absorbed), every job's
+# output byte-compared against a serial reference, zero goroutine
+# leaks after shutdown. DICE_SMOKE=1 raises the soak from its quick
+# tier-1 size to the full 200-job version.
+soak:
+	DICE_SMOKE=1 $(GO) test -race -run='^TestSoakConcurrentSubmissions$$' -count=1 -v ./internal/serve
+
+# Daemon smoke: build the real dicebenchd binary and drive it as an
+# operator would — HTTP submit/poll/healthz, SIGTERM clean drain,
+# restart-with-journal replay, and the SIGKILL crash/restart
+# byte-equality check.
+daemon-smoke:
+	$(GO) test -run='^TestDaemon' -count=1 -v ./cmd/dicebenchd
 
 # The evaluation as readable tables (several minutes).
 evaluate:

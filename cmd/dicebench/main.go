@@ -21,8 +21,9 @@
 //
 // -fault-ber/-fault-seed/-fault-policy inject deterministic bit errors
 // into every simulation (the fault-sweep experiment sweeps its own BER
-// points regardless). Ctrl-C cancels queued simulations and prints the
-// reports finished so far as a partial run; a second Ctrl-C kills the
+// points regardless). Ctrl-C or SIGTERM (via the shared
+// internal/sigctx helper) cancels queued simulations and prints the
+// reports finished so far as a partial run; a second signal kills the
 // process immediately.
 //
 // Observability (see METRICS.md): -metrics-out collects an epoch-metrics
@@ -39,7 +40,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -47,6 +47,7 @@ import (
 	"dice/internal/experiments"
 	"dice/internal/obs"
 	"dice/internal/parallel"
+	"dice/internal/sigctx"
 	"dice/internal/sim"
 	"dice/internal/workloads"
 )
@@ -137,15 +138,12 @@ func main() {
 		r.MetricsEpoch = *metricsEpoch
 	}
 
-	// First Ctrl-C cancels queued simulations (in-flight ones finish and
-	// the completed reports still print); once cancelled, the handler is
-	// dropped so a second Ctrl-C terminates the process the default way.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// First SIGINT/SIGTERM cancels queued simulations (in-flight ones
+	// finish and the completed reports still print); the shared helper
+	// drops the handler once cancelled, so a second signal terminates
+	// the process the default way.
+	ctx, stop := sigctx.WithShutdown(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 
 	// RunAllCtx submits every experiment's simulation matrix to the
 	// worker pool up front, then assembles the reports in the order

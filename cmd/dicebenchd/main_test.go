@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dice/internal/serve"
+	"dice/internal/serve/client"
+)
+
+// Subprocess smoke tests: build the real binary once, then drive it
+// over HTTP and signals the way an operator (or CI's daemon-smoke
+// job) would — including the SIGKILL crash that no in-process test
+// can stage.
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func daemonBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dicebenchd-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "dicebenchd")
+		out, err := exec.Command("go", "build", "-o", binPath, "dice/cmd/dicebenchd").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// daemonProc is one running daemon subprocess plus its scraped address.
+type daemonProc struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error // resolves with cmd.Wait
+	out  *strings.Builder
+	mu   *sync.Mutex
+}
+
+// startDaemon launches the binary on an ephemeral port and scrapes
+// the "listening on" line for the bound address.
+func startDaemon(t *testing.T, args ...string) *daemonProc {
+	t.Helper()
+	cmd := exec.Command(daemonBinary(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &daemonProc{cmd: cmd, done: make(chan error, 1), out: &strings.Builder{}, mu: &sync.Mutex{}}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.out.WriteString(line + "\n")
+			p.mu.Unlock()
+			if a, ok := strings.CutPrefix(line, "dicebenchd: listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	go func() { p.done <- cmd.Wait() }()
+
+	select {
+	case p.addr = <-addrCh:
+	case err := <-p.done:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, p.output())
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("daemon never printed its address\n%s", p.output())
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}
+
+func (p *daemonProc) output() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.out.String()
+}
+
+// waitExit waits for the process to exit within the bound and returns
+// its wait error (nil = exit 0).
+func (p *daemonProc) waitExit(t *testing.T, bound time.Duration) error {
+	t.Helper()
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(bound):
+		p.cmd.Process.Kill()
+		t.Fatalf("daemon did not exit within %v\n%s", bound, p.output())
+		return nil
+	}
+}
+
+func (p *daemonProc) client(seed int64) *client.Client {
+	return client.New("http://"+p.addr, seed)
+}
+
+var smokeSpec = serve.JobSpec{Experiments: []string{"metrics-demo"}, Refs: 400, Scale: 12}
+
+// The operator path end to end: start, submit over HTTP, poll to
+// done, check /healthz, SIGTERM → clean exit 0 within the drain
+// bound; then restart on the same journal and read the finished job
+// back (replayed, same bytes).
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short mode")
+	}
+	want, err := serve.RunSpec(context.Background(), smokeSpec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "smoke.journal")
+	p := startDaemon(t, "-journal", journal, "-q")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := p.client(1)
+
+	st, err := c.Submit(ctx, smokeSpec)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, p.output())
+	}
+	st, err = c.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.StateDone || st.Output != want {
+		t.Fatalf("job finished %s; output matches reference: %v", st.State, st.Output == want)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Stats.Done != 1 || h.Self.Goroutines <= 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.waitExit(t, 45*time.Second); err != nil {
+		t.Fatalf("SIGTERM exit: %v\n%s", err, p.output())
+	}
+	if out := p.output(); !strings.Contains(out, "clean shutdown") {
+		t.Fatalf("no clean-shutdown line:\n%s", out)
+	}
+
+	// Restart on the same journal: the finished job must replay with
+	// its output intact, not re-run.
+	p2 := startDaemon(t, "-journal", journal, "-q")
+	st2, err := p2.client(2).Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Replayed || st2.State != serve.StateDone || st2.Output != want {
+		t.Fatalf("replayed status: replayed=%v state=%s output-match=%v",
+			st2.Replayed, st2.State, st2.Output == want)
+	}
+	if out := p2.output(); !strings.Contains(out, "journal replayed 1 jobs (0 re-enqueued)") {
+		t.Fatalf("replay summary missing:\n%s", out)
+	}
+	p2.cmd.Process.Signal(syscall.SIGTERM)
+	p2.waitExit(t, 45*time.Second)
+}
+
+// The crash bar from the issue: SIGKILL the daemon mid-job, restart
+// it on the same journal, and the interrupted job re-runs to bytes
+// identical to a run that was never interrupted.
+func TestDaemonSIGKILLRestartReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short mode")
+	}
+	// A heavier spec so SIGKILL reliably lands while it is running.
+	spec := serve.JobSpec{Experiments: []string{"metrics-demo"}, Refs: 150_000, Scale: 12}
+	want, err := serve.RunSpec(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "crash.journal")
+	p := startDaemon(t, "-journal", journal, "-q")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := p.client(3)
+
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the daemon journals the start (state running), then
+	// kill it without ceremony.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got, err := c.Status(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == serve.StateRunning {
+			break
+		}
+		if got.State.Terminal() {
+			t.Fatalf("job finished (%s) before SIGKILL could land; raise its refs", got.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p.done // SIGKILL: no clean shutdown, journal has submit+start only
+
+	p2 := startDaemon(t, "-journal", journal, "-q")
+	if out := p2.output(); !strings.Contains(out, "journal replayed 1 jobs (1 re-enqueued)") {
+		t.Fatalf("interrupted job not re-enqueued:\n%s", out)
+	}
+	st2, err := p2.client(4).Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != serve.StateDone {
+		t.Fatalf("re-run finished %s (%s)", st2.State, st2.Error)
+	}
+	if !st2.Replayed {
+		t.Fatal("re-run not marked replayed")
+	}
+	if st2.Output != want {
+		t.Fatalf("re-run diverged from uninterrupted reference (%d vs %d bytes)", len(st2.Output), len(want))
+	}
+	p2.cmd.Process.Signal(syscall.SIGTERM)
+	if err := p2.waitExit(t, 45*time.Second); err != nil {
+		t.Fatalf("SIGTERM exit after replay: %v\n%s", err, p2.output())
+	}
+}
+
+// Flag validation fails fast with exit 1, before binding or journal
+// creation.
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short mode")
+	}
+	cmd := exec.Command(daemonBinary(t), "-queue-cap", "0")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		cmd.Process.Kill()
+		t.Fatalf("daemon accepted -queue-cap 0:\n%s", out)
+	}
+	if !strings.Contains(string(out), "queue-cap") {
+		t.Fatalf("unhelpful error: %s", out)
+	}
+}

@@ -20,9 +20,16 @@
 // itself. None of these change simulation results; neither does
 // -artifact-cache=false, which only disables sharing of built workload
 // artifacts between the runs of one process (e.g. with -baseline).
+//
+// SIGINT and SIGTERM are handled through the shared internal/sigctx
+// helper (the same shutdown path dicebench and dicebenchd use):
+// queued simulations are skipped, completed ones print as a partial
+// result with a nonzero exit, and a second signal kills the process
+// immediately.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,7 @@ import (
 	"dice/internal/dcache"
 	"dice/internal/obs"
 	"dice/internal/parallel"
+	"dice/internal/sigctx"
 	"dice/internal/sim"
 	"dice/internal/workloads"
 )
@@ -180,7 +188,19 @@ func main() {
 		}
 	}
 
+	// SIGINT/SIGTERM cancel queued simulations through the shared
+	// helper (the same one dicebench and dicebenchd use); whatever
+	// finished prints as a partial result. Cancellation granularity is
+	// one simulation — an in-flight run completes. A second signal
+	// kills the process the default way.
+	ctx, stopSignals := sigctx.WithShutdown(context.Background())
+	defer stopSignals()
+
 	if !*baseline {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted before the simulation started")
+			os.Exit(1)
+		}
 		res, err := sim.RunObserved(cfg, w, ob)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -198,18 +218,32 @@ func main() {
 	cfgs := []sim.Config{cfg, baseCfg}
 	results := make([]sim.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
-	parallel.ForEach(*workers, len(cfgs), func(i int) {
+	ran := make([]bool, len(cfgs))
+	parallel.ForEachCtx(ctx, *workers, len(cfgs), func(i int) {
 		var o *obs.Observer
 		if i == 0 {
 			o = ob
 		}
 		results[i], errs[i] = sim.RunObserved(cfgs[i], w, o)
+		ran[i] = true
 	})
-	for _, err := range errs {
-		if err != nil {
+	for i, err := range errs {
+		if ran[i] && err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if ctx.Err() != nil && (!ran[0] || !ran[1]) {
+		// Partial run: print what completed, then exit nonzero so
+		// scripts notice the interruption.
+		if ran[0] {
+			printResult(results[0])
+			fmt.Println("\ninterrupted: baseline run skipped, speedup unavailable")
+			finishObserved(ob, *metricsOut)
+		} else {
+			fmt.Println("interrupted before any simulation completed")
+		}
+		os.Exit(1)
 	}
 	printResult(results[0])
 	fmt.Printf("\nweighted speedup vs uncompressed baseline: %.3f\n",

@@ -67,6 +67,12 @@ type Runner struct {
 
 	logOnce sync.Once
 	log     *parallel.Logger
+
+	// testHookSimDone, when non-nil, runs after every executed
+	// simulation with its memoization key. Test instrumentation only:
+	// the cancellation-latency tests use it to cancel a context at a
+	// precise point between cells.
+	testHookSimDone func(key string)
 }
 
 // flight is one memoization slot. The first requester simulates and
@@ -263,6 +269,9 @@ func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim
 	f.res = res
 	r.sims.Add(1)
 	r.cycles.Add(res.Cycles)
+	if r.testHookSimDone != nil {
+		r.testHookSimDone(key)
+	}
 	if ob != nil {
 		r.mu.Lock()
 		if r.metrics == nil {

@@ -1,0 +1,78 @@
+// Package leakcheck is a stdlib-only goroutine-leak detector for
+// tests: snapshot the goroutine count before the code under test,
+// then verify — with retries, because goroutine teardown is
+// asynchronous — that the count has returned to its starting level
+// afterwards. It exists so the worker-pool and daemon lifecycle tests
+// can assert "zero goroutines leaked" without importing anything
+// outside the standard library.
+//
+// Usage:
+//
+//	defer leakcheck.Check(t)()
+//
+// The deferred call fails the test (with a full goroutine dump) if,
+// after the retry window, more goroutines are running than when Check
+// was called.
+package leakcheck
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"time"
+)
+
+// TB is the subset of testing.TB the checker needs; tests pass *testing.T,
+// the package's own tests substitute a recorder to exercise the failure
+// path.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// retryWindow bounds how long Verify waits for goroutine teardown to
+// settle. Exits of finished goroutines are asynchronous — a worker
+// that has returned may still be counted for a few scheduler ticks —
+// so the checker polls rather than asserting immediately. A variable
+// so the package's own failure-path test can shrink the window.
+var retryWindow = 5 * time.Second
+
+// retryStep is the poll interval within the retry window.
+var retryStep = 20 * time.Millisecond
+
+// Check snapshots the current goroutine count and returns a function
+// that verifies the count has settled back to (or below) that level.
+// Defer the returned function around the code under test.
+func Check(t TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		Verify(t, before)
+	}
+}
+
+// Verify fails t if, after the retry window, more than before
+// goroutines are running. On failure the report includes the current
+// goroutine dump so the leaked stacks are identifiable.
+func Verify(t TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(retryWindow)
+	var now int
+	for {
+		now = runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(retryStep)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "goroutine leak: %d before, %d after %v\n", before, now, retryWindow)
+	if p := pprof.Lookup("goroutine"); p != nil {
+		p.WriteTo(&buf, 1)
+	}
+	t.Errorf("%s", buf.String())
+}

@@ -84,6 +84,34 @@ func CaptureSelf() SelfSample {
 	return s
 }
 
+// SelfStatus is a point-in-time health snapshot of the running
+// process: the goroutine count plus the cumulative allocation and GC
+// counters of SelfSample. The experiment daemon serves it from
+// /healthz; long-lived processes watch AllocBytes/GCCycles deltas and
+// Goroutines for leaks.
+type SelfStatus struct {
+	// Goroutines is the current goroutine count (runtime.NumGoroutine).
+	Goroutines int `json:"goroutines"`
+	// AllocBytes is cumulative heap bytes allocated.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// AllocObjects is cumulative heap objects allocated.
+	AllocObjects uint64 `json:"alloc_objects"`
+	// GCCycles is cumulative completed GC cycles.
+	GCCycles uint64 `json:"gc_cycles"`
+}
+
+// CaptureSelfStatus reads the process's current self-stats: goroutine
+// count plus the allocation/GC counters of CaptureSelf.
+func CaptureSelfStatus() SelfStatus {
+	s := CaptureSelf()
+	return SelfStatus{
+		Goroutines:   runtime.NumGoroutine(),
+		AllocBytes:   s.AllocBytes,
+		AllocObjects: s.AllocObjects,
+		GCCycles:     s.GCCycles,
+	}
+}
+
 // SelfReport renders the runtime cost between two samples, normalized
 // per million simulated ticks (simTicks is the summed simulated-cycle
 // count of the work in between; 0 suppresses the normalized figures).

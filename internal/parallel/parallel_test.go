@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"dice/internal/leakcheck"
 )
 
 func TestWorkersResolution(t *testing.T) {
@@ -135,4 +137,34 @@ func TestForEachCtxCancellation(t *testing.T) {
 	if n := ran.Load(); n < 5 || n >= 1000 {
 		t.Fatalf("cancelled pool ran %d of 1000 items", n)
 	}
+}
+
+// The pool must shut down clean: every worker goroutine gone after
+// ForEach returns, whether the run completed, was cancelled, or
+// panicked. The stdlib-only leak checker retries, so asynchronous
+// goroutine teardown does not flake it.
+func TestPoolShutdownLeaksNoGoroutines(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	// Completed run.
+	ForEach(8, 200, func(i int) {})
+
+	// Cancelled run.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	ForEachCtx(ctx, 4, 1000, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+
+	// Panicking run (the panic re-surfaces in this goroutine).
+	func() {
+		defer func() { recover() }()
+		ForEach(4, 100, func(i int) {
+			if i == 0 {
+				panic("boom")
+			}
+		})
+	}()
 }

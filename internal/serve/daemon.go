@@ -1,0 +1,718 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"dice/internal/obs"
+)
+
+// Sentinel errors the HTTP layer maps to status codes; exported so
+// programmatic users of Submit/Cancel can distinguish them too.
+var (
+	// ErrQueueFull is returned when admission would exceed the queue
+	// bound; the HTTP layer maps it to 429 + Retry-After.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining is returned once shutdown has begun; the HTTP layer
+	// maps it to 503.
+	ErrDraining = errors.New("serve: daemon is draining")
+	// ErrNotFound is returned for an unknown job ID (404).
+	ErrNotFound = errors.New("serve: no such job")
+)
+
+// abandonSlack bounds how long Shutdown waits, after cancelling
+// in-flight jobs at the drain deadline, for their workers to observe
+// the cancellation (granularity: one simulation cell).
+const abandonSlack = 30 * time.Second
+
+// Config parameterizes a Daemon. Zero values take the documented
+// defaults.
+type Config struct {
+	// JournalPath is the crash-safe job journal ("" = no persistence:
+	// jobs live only in memory and a restart forgets them).
+	JournalPath string
+	// QueueCap bounds the number of queued-but-not-started jobs
+	// (default 64). Submissions beyond it fail with ErrQueueFull —
+	// the explicit backpressure signal — rather than growing memory.
+	QueueCap int
+	// JobWorkers is how many jobs run concurrently (default 1). Each
+	// job additionally fans its simulations out per its spec's
+	// Workers field; results are byte-identical at any setting.
+	JobWorkers int
+	// DefaultRefs is the per-core reference budget for specs that
+	// leave Refs zero (default 60000, matching dicebench).
+	DefaultRefs int
+	// DefaultDeadline applies to specs that leave DeadlineMS zero
+	// (0 = no deadline).
+	DefaultDeadline time.Duration
+	// RetainOutputs caps how many terminal jobs keep their output
+	// bytes in memory (default 256). Older outputs are evicted from
+	// the status map — the journal still holds them — so a long-lived
+	// daemon's memory stays bounded by the cap, not by its history.
+	RetainOutputs int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is the experiment job daemon: a bounded queue feeding
+// JobWorkers workers, a journal, and an HTTP handler. Create with
+// New, serve with Start (or mount Handler yourself), stop with
+// Shutdown.
+type Daemon struct {
+	cfg     Config
+	journal *Journal
+	execute func(ctx context.Context, spec JobSpec) (string, error)
+
+	queue    chan *job
+	stopPick chan struct{}
+	workers  sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission/replay order, for GET /jobs
+	retained []string // terminal jobs still holding output, oldest first
+	depth    int      // queued jobs (reserved admission slots)
+	maxDepth int
+	active   int
+	seq      uint64
+	draining bool
+	stopped  bool
+	stats    statsCounters
+
+	srv   *http.Server
+	start time.Time
+}
+
+// statsCounters are the daemon's monotone self-stats, guarded by
+// Daemon.mu (every mutation site already holds it).
+type statsCounters struct {
+	submitted, rejected, started uint64
+	done, failed, cancelled      uint64
+	replayed                     uint64
+}
+
+// Stats is a point-in-time snapshot of the daemon's self-stats, as
+// exposed on /healthz (see METRICS.md "Daemon self-stats").
+type Stats struct {
+	// Submitted counts accepted submissions (replayed re-enqueues
+	// excluded).
+	Submitted uint64 `json:"jobs_submitted"`
+	// Rejected counts ErrQueueFull backpressure rejections.
+	Rejected uint64 `json:"jobs_rejected"`
+	// Started counts jobs a worker picked up in this process.
+	Started uint64 `json:"jobs_started"`
+	// Done counts jobs that finished successfully.
+	Done uint64 `json:"jobs_done"`
+	// Failed counts jobs that errored, panicked, or overran a deadline.
+	Failed uint64 `json:"jobs_failed"`
+	// Cancelled counts jobs cancelled by clients.
+	Cancelled uint64 `json:"jobs_cancelled"`
+	// Replayed counts jobs restored from the journal on startup.
+	Replayed uint64 `json:"jobs_replayed"`
+	// QueueDepth is the current number of queued jobs.
+	QueueDepth int `json:"queue_depth"`
+	// MaxQueueDepth is the queue-depth high-water mark.
+	MaxQueueDepth int `json:"queue_max_depth"`
+	// QueueCap is the configured queue bound.
+	QueueCap int `json:"queue_cap"`
+	// Active is the number of jobs running right now.
+	Active int `json:"jobs_active"`
+}
+
+// New builds a Daemon, replays its journal (re-enqueueing every job
+// the previous process never finished, in sequence order), and starts
+// the job workers. The returned Replay reports what was restored; nil
+// when cfg.JournalPath is empty.
+func New(cfg Config) (*Daemon, *Replay, error) {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	if cfg.DefaultRefs <= 0 {
+		cfg.DefaultRefs = 60_000
+	}
+	if cfg.RetainOutputs <= 0 {
+		cfg.RetainOutputs = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	var (
+		journal *Journal
+		rep     *Replay
+		err     error
+	)
+	if cfg.JournalPath != "" {
+		journal, rep, err = OpenJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	d := &Daemon{
+		cfg:      cfg,
+		journal:  journal,
+		jobs:     make(map[string]*job),
+		stopPick: make(chan struct{}),
+		seq:      1,
+		start:    time.Now(),
+	}
+	d.execute = func(ctx context.Context, spec JobSpec) (string, error) {
+		return RunSpec(ctx, spec, d.cfg.DefaultRefs)
+	}
+
+	// The channel needs room for the admission bound plus whatever
+	// backlog replay restores (the backlog was itself admitted under
+	// the bound by the previous process, so memory stays bounded).
+	backlog := 0
+	if rep != nil {
+		for _, rj := range rep.Jobs {
+			if rj.Unfinished() {
+				backlog++
+			}
+		}
+	}
+	d.queue = make(chan *job, cfg.QueueCap+backlog)
+
+	if rep != nil {
+		d.restore(rep)
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		d.workers.Add(1)
+		go d.worker()
+	}
+	return d, rep, nil
+}
+
+// restore rebuilds the job table from a journal replay: finished jobs
+// become queryable terminal statuses; unfinished ones re-enter the
+// queue in sequence order and will re-run. Simulations are pure
+// functions of their spec, so the re-run's output is byte-identical
+// to what the interrupted run would have produced.
+func (d *Daemon) restore(rep *Replay) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq = rep.NextSeq
+	for _, rj := range rep.Jobs {
+		jb := &job{status: JobStatus{
+			ID: rj.ID, Seq: rj.Seq, Spec: rj.Spec, Replayed: true,
+		}}
+		d.jobs[rj.ID] = jb
+		d.order = append(d.order, rj.ID)
+		d.stats.replayed++
+		if rj.Finished {
+			jb.status.State = rj.State
+			jb.status.Output = rj.Output
+			jb.status.Error = rj.Error
+			d.retainLocked(jb)
+			continue
+		}
+		jb.status.State = StateQueued
+		d.depth++
+		if d.depth > d.maxDepth {
+			d.maxDepth = d.depth
+		}
+		d.queue <- jb // capacity reserved for the backlog in New
+		d.cfg.Logf("serve: replay re-enqueued %s (%v)", rj.ID, rj.Spec.Experiments)
+	}
+	if rep.TruncatedBytes > 0 {
+		d.cfg.Logf("serve: journal: dropped %d bytes of torn tail", rep.TruncatedBytes)
+	}
+}
+
+// Submit admits one job: validate, journal, enqueue. It fails fast
+// with ErrQueueFull once QueueCap jobs are waiting (the backpressure
+// contract — memory never grows with offered load) and ErrDraining
+// once shutdown has begun.
+func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	if d.depth >= d.cfg.QueueCap {
+		d.stats.rejected++
+		d.mu.Unlock()
+		return JobStatus{}, ErrQueueFull
+	}
+	d.depth++
+	if d.depth > d.maxDepth {
+		d.maxDepth = d.depth
+	}
+	seq := d.seq
+	d.seq++
+	id := fmt.Sprintf("j%d", seq)
+	jb := &job{status: JobStatus{
+		ID: id, Seq: seq, State: StateQueued, Spec: spec, SubmittedAt: time.Now(),
+	}}
+	d.jobs[id] = jb
+	d.order = append(d.order, id)
+	d.stats.submitted++
+	// Journal while holding the lock so a job's submit record always
+	// precedes its start record (the worker can only see the job
+	// after the enqueue below).
+	if err := d.journal.append(record{T: "submit", ID: id, Seq: seq, Spec: &spec}); err != nil {
+		// Admission without a durable record would break the restart
+		// contract; undo and surface the error.
+		delete(d.jobs, id)
+		d.order = d.order[:len(d.order)-1]
+		d.depth--
+		d.mu.Unlock()
+		return JobStatus{}, err
+	}
+	st := jb.status
+	d.mu.Unlock()
+
+	d.queue <- jb // never blocks: depth reservation <= channel capacity
+	d.cfg.Logf("serve: %s submitted (%v)", id, spec.Experiments)
+	return st, nil
+}
+
+// worker pulls jobs until shutdown. The stopPick channel — not queue
+// closure — ends the loop, so queued jobs survive in the channel (and
+// in the journal) as the shutdown checkpoint.
+func (d *Daemon) worker() {
+	defer d.workers.Done()
+	for {
+		select {
+		case <-d.stopPick:
+			return
+		default:
+		}
+		select {
+		case <-d.stopPick:
+			return
+		case jb := <-d.queue:
+			d.mu.Lock()
+			d.depth--
+			skip := jb.cancelRequested // cancelled while queued; finish already journaled
+			if !skip {
+				jb.status.State = StateRunning
+				jb.status.StartedAt = time.Now()
+				d.active++
+				d.stats.started++
+			}
+			d.mu.Unlock()
+			if skip {
+				continue
+			}
+			d.runJob(jb)
+		}
+	}
+}
+
+// runJob executes one job under its own context, with panic isolation
+// and deadline enforcement, then records the outcome.
+func (d *Daemon) runJob(jb *job) {
+	spec := jb.status.Spec
+	ctx, cancel := context.WithCancel(context.Background())
+	deadline := d.cfg.DefaultDeadline
+	if spec.DeadlineMS > 0 {
+		deadline = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+	}
+	defer cancel()
+
+	d.mu.Lock()
+	jb.cancel = cancel
+	requested := jb.cancelRequested
+	d.mu.Unlock()
+	if requested {
+		// A cancel raced the dequeue (it saw StateRunning before the
+		// cancel func was registered); honor it before doing work.
+		cancel()
+	}
+
+	if err := d.journal.append(record{T: "start", ID: jb.status.ID}); err != nil {
+		d.finish(jb, StateFailed, "", err.Error(), true)
+		return
+	}
+
+	// Panic isolation: a crashing job fails alone, with its stack in
+	// the status, and the worker (and daemon) live on.
+	output, err := func() (out string, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+			}
+		}()
+		return d.execute(ctx, spec)
+	}()
+
+	d.mu.Lock()
+	abandoned := jb.shutdownAbandon
+	userCancelled := jb.cancelRequested
+	d.mu.Unlock()
+
+	switch {
+	case abandoned && err != nil:
+		// Shutdown took the context away: leave the journal without a
+		// finish record so a restart re-runs the job (checkpoint).
+		d.mu.Lock()
+		jb.status.State = StateInterrupted
+		jb.status.Error = "interrupted by daemon shutdown; will re-run on restart"
+		d.active--
+		d.mu.Unlock()
+		d.cfg.Logf("serve: %s interrupted by shutdown", jb.status.ID)
+	case err == nil:
+		d.finish(jb, StateDone, output, "", true)
+	case userCancelled && errors.Is(err, context.Canceled):
+		d.finish(jb, StateCancelled, output, "cancelled by client", true)
+	case errors.Is(err, context.DeadlineExceeded):
+		d.finish(jb, StateFailed, output, fmt.Sprintf("deadline exceeded after %v", deadline), true)
+	default:
+		d.finish(jb, StateFailed, output, err.Error(), true)
+	}
+}
+
+// finish moves a job to a terminal state, journals it (unless
+// journalIt is false — used when the journal itself failed), applies
+// output retention, and updates the counters.
+func (d *Daemon) finish(jb *job, state JobState, output, errMsg string, journalIt bool) {
+	if journalIt {
+		if jerr := d.journal.append(record{
+			T: "finish", ID: jb.status.ID, State: state, Output: output, Error: errMsg,
+		}); jerr != nil {
+			// The in-memory state is still authoritative for this
+			// process; a restart will re-run the job, which is safe
+			// (deterministic) if wasteful.
+			d.cfg.Logf("serve: %s: journal finish failed: %v", jb.status.ID, jerr)
+		}
+	}
+	d.mu.Lock()
+	wasRunning := jb.status.State == StateRunning
+	jb.status.State = state
+	jb.status.Output = output
+	jb.status.Error = errMsg
+	jb.status.FinishedAt = time.Now()
+	if wasRunning {
+		d.active--
+	}
+	switch state {
+	case StateDone:
+		d.stats.done++
+	case StateFailed:
+		d.stats.failed++
+	case StateCancelled:
+		d.stats.cancelled++
+	}
+	d.retainLocked(jb)
+	d.mu.Unlock()
+	d.cfg.Logf("serve: %s %s", jb.status.ID, state)
+}
+
+// retainLocked enforces the bounded-output retention: the newest
+// RetainOutputs terminal jobs keep their bytes, older ones are
+// evicted to the journal. Caller holds d.mu.
+func (d *Daemon) retainLocked(jb *job) {
+	if jb.status.Output == "" {
+		return
+	}
+	d.retained = append(d.retained, jb.status.ID)
+	for len(d.retained) > d.cfg.RetainOutputs {
+		old := d.jobs[d.retained[0]]
+		d.retained = d.retained[1:]
+		if old != nil && old.status.Output != "" {
+			old.status.Output = ""
+			old.status.OutputDropped = true
+		}
+	}
+}
+
+// Cancel cancels a job: a queued job is finished as cancelled on the
+// spot (the worker discards it on dequeue); a running job has its
+// context cancelled and the worker records the outcome. Cancelling a
+// terminal job is a no-op returning its status.
+func (d *Daemon) Cancel(id string) (JobStatus, error) {
+	d.mu.Lock()
+	jb, ok := d.jobs[id]
+	if !ok {
+		d.mu.Unlock()
+		return JobStatus{}, ErrNotFound
+	}
+	switch jb.status.State {
+	case StateQueued:
+		jb.cancelRequested = true
+		jb.status.State = StateCancelled
+		jb.status.Error = "cancelled by client while queued"
+		jb.status.FinishedAt = time.Now()
+		d.stats.cancelled++
+		rec := record{T: "finish", ID: id, State: StateCancelled, Error: jb.status.Error}
+		st := jb.status
+		// Journal under the lock: the finish must precede any later
+		// record for this id.
+		if err := d.journal.append(rec); err != nil {
+			d.cfg.Logf("serve: %s: journal cancel failed: %v", id, err)
+		}
+		d.mu.Unlock()
+		d.cfg.Logf("serve: %s cancelled while queued", id)
+		return st, nil
+	case StateRunning:
+		jb.cancelRequested = true
+		cancel := jb.cancel
+		st := jb.status
+		d.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return st, nil
+	default:
+		st := jb.status
+		d.mu.Unlock()
+		return st, nil
+	}
+}
+
+// Status returns one job's status.
+func (d *Daemon) Status(id string) (JobStatus, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	jb, ok := d.jobs[id]
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	return jb.status, nil
+}
+
+// Statuses returns every job's status in submission order, with
+// outputs elided (fetch a single job for its output).
+func (d *Daemon) Statuses() []JobStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]JobStatus, 0, len(d.order))
+	for _, id := range d.order {
+		st := d.jobs[id].status
+		st.Output = ""
+		out = append(out, st)
+	}
+	return out
+}
+
+// Stats snapshots the daemon's self-stats.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Submitted: d.stats.submitted, Rejected: d.stats.rejected,
+		Started: d.stats.started, Done: d.stats.done,
+		Failed: d.stats.failed, Cancelled: d.stats.cancelled,
+		Replayed:   d.stats.replayed,
+		QueueDepth: d.depth, MaxQueueDepth: d.maxDepth,
+		QueueCap: d.cfg.QueueCap, Active: d.active,
+	}
+}
+
+// Draining reports whether shutdown has begun (admission closed).
+func (d *Daemon) Draining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Start listens on addr ("" or host:0 pick an ephemeral port) and
+// serves the HTTP API until Shutdown. It returns the bound address.
+func (d *Daemon) Start(addr string) (net.Addr, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	d.srv = &http.Server{Handler: d.Handler()}
+	go d.srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Shutdown stops the daemon within a bound: admission closes
+// immediately (submits → 503, /readyz → 503), workers finish their
+// current job and exit, and queued jobs stay checkpointed in the
+// journal for the next start. If ctx expires before the drain
+// completes, in-flight jobs are cancelled and left unfinished in the
+// journal — also checkpointed — and Shutdown waits a short slack for
+// the workers to observe it. Safe to call more than once.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return nil
+	}
+	d.stopped = true
+	d.draining = true
+	d.mu.Unlock()
+	close(d.stopPick)
+
+	done := make(chan struct{})
+	go func() {
+		d.workers.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Drain bound reached: checkpoint the in-flight jobs by
+		// cancelling their contexts without journaling a finish.
+		d.mu.Lock()
+		var cancels []context.CancelFunc
+		for _, id := range d.order {
+			jb := d.jobs[id]
+			if jb.status.State == StateRunning {
+				jb.shutdownAbandon = true
+				if jb.cancel != nil {
+					cancels = append(cancels, jb.cancel)
+				}
+			}
+		}
+		d.mu.Unlock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		select {
+		case <-done:
+		case <-time.After(abandonSlack):
+			drainErr = fmt.Errorf("serve: %d jobs still running %v after cancellation", len(cancels), abandonSlack)
+		}
+	}
+
+	if d.srv != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := d.srv.Shutdown(sctx); err != nil && drainErr == nil {
+			drainErr = fmt.Errorf("serve: http shutdown: %w", err)
+		}
+	}
+	if err := d.journal.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs        submit (202; 429 + Retry-After on queue-full; 503 draining)
+//	GET    /jobs        list statuses, outputs elided
+//	GET    /jobs/{id}   one status, output included
+//	DELETE /jobs/{id}   cancel
+//	GET    /healthz     process self-stats + daemon counters (always 200 while serving)
+//	GET    /readyz      200 while admitting, 503 once draining
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", d.handleSubmit)
+	mux.HandleFunc("GET /jobs", d.handleList)
+	mux.HandleFunc("GET /jobs/{id}", d.handleGet)
+	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+	mux.HandleFunc("GET /readyz", d.handleReady)
+	return mux
+}
+
+// maxSpecBytes bounds a submitted spec body; anything bigger is a
+// client error, not a reason to grow daemon memory.
+const maxSpecBytes = 1 << 20
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("serve: bad job spec: %w", err))
+		return
+	}
+	st, err := d.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.Statuses())
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := d.Status(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Daemon) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := d.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// Health is the /healthz payload: process self-stats (internal/obs)
+// plus the daemon's job counters.
+type Health struct {
+	// Status is "ok" whenever the handler answers.
+	Status string `json:"status"`
+	// UptimeMS is milliseconds since the daemon was constructed.
+	UptimeMS int64 `json:"uptime_ms"`
+	// Draining is true once shutdown has closed admission.
+	Draining bool `json:"draining"`
+	// Self carries goroutine/allocation/GC self-stats.
+	Self obs.SelfStatus `json:"self"`
+	// Stats carries the daemon's job and queue counters.
+	Stats Stats `json:"stats"`
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		UptimeMS: time.Since(d.start).Milliseconds(),
+		Draining: d.Draining(),
+		Self:     obs.CaptureSelfStatus(),
+		Stats:    d.Stats(),
+	})
+}
+
+func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	if d.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// writeJSON writes v as an indented JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeErr writes a JSON error envelope.
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// The journal is the daemon's crash-safety backbone: an append-only
+// file of one JSON record per line, each prefixed with its CRC-32C
+// (the same Castagnoli polynomial the compressed-line checksums use),
+// fsynced per append. Every job writes at most three records —
+// submit (with the full spec), start, finish (with the final state
+// and output) — so the file replays into the exact job table at the
+// moment of the crash: a submit without a finish is a job the crash
+// interrupted, and the daemon re-enqueues it in sequence order.
+//
+// Torn writes are expected (SIGKILL can land mid-append): replay
+// accepts the longest valid prefix — records parse, CRCs match, the
+// line is newline-terminated — and truncates the rest before the
+// daemon appends again. A mismatched CRC therefore never poisons the
+// file; it just marks where the crash cut it.
+
+// crcTable is the Castagnoli table shared by every journal record.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// record is one journal line. T is "submit", "start", or "finish";
+// the other fields are populated per type (Spec on submit; State,
+// Output and Error on finish).
+type record struct {
+	T      string   `json:"t"`
+	ID     string   `json:"id"`
+	Seq    uint64   `json:"seq,omitempty"`
+	Spec   *JobSpec `json:"spec,omitempty"`
+	State  JobState `json:"state,omitempty"`
+	Output string   `json:"output,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Journal is the append handle. Safe for concurrent use; each append
+// is one write + fsync under the lock, so records never interleave
+// and an acknowledged record survives power loss.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Replay is what a journal file parses back into: the job table in
+// submission order, the next unused sequence number, and how many
+// bytes of torn tail were discarded.
+type Replay struct {
+	// Jobs holds one entry per valid submit record, in sequence order.
+	Jobs []ReplayJob
+	// NextSeq is one past the highest sequence number seen.
+	NextSeq uint64
+	// TruncatedBytes counts journal bytes dropped as a torn or
+	// corrupt tail (0 for a cleanly closed journal).
+	TruncatedBytes int64
+}
+
+// ReplayJob is one job reconstructed from the journal.
+type ReplayJob struct {
+	// ID identifies the job as originally assigned.
+	ID string
+	// Seq is the job's original journal sequence number.
+	Seq uint64
+	// Spec is the job's submitted spec.
+	Spec JobSpec
+	// Started reports whether a start record was journaled (the crash
+	// caught the job mid-run rather than still queued).
+	Started bool
+	// Finished reports whether a finish record was journaled; when
+	// true State/Output/Error carry the final status and the job is
+	// NOT re-run on restart.
+	Finished bool
+	// State mirrors the finish record's terminal state.
+	State JobState
+	// Output mirrors the finish record's report bytes.
+	Output string
+	// Error mirrors the finish record's failure message.
+	Error string
+}
+
+// Unfinished reports whether the job needs re-running after a restart.
+func (rj ReplayJob) Unfinished() bool { return !rj.Finished }
+
+// OpenJournal opens (creating if absent) the journal at path, replays
+// its valid prefix, truncates any torn tail, and returns the handle
+// positioned for appending plus the replayed job table.
+func OpenJournal(path string) (*Journal, *Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	rep, validLen, err := replayFrom(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
+		rep.TruncatedBytes = fi.Size() - validLen
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, rep, nil
+}
+
+// replayFrom scans the journal from the start, returning the
+// reconstructed job table and the byte length of the valid prefix.
+// Scanning stops — without error — at the first record that is torn
+// (no trailing newline), malformed, or CRC-mismatched; everything
+// before it is trusted.
+func replayFrom(f *os.File) (*Replay, int64, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, 0, fmt.Errorf("serve: journal: %w", err)
+	}
+	var (
+		validLen int64
+		jobs     []*ReplayJob
+		byID     = map[string]*ReplayJob{}
+		rep      = &Replay{NextSeq: 1}
+		r        = bufio.NewReaderSize(f, 1<<16)
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break // a partial trailing line is a torn tail — drop it
+			}
+			return nil, 0, fmt.Errorf("serve: journal: %w", err)
+		}
+		rec, ok := parseLine(line[:len(line)-1])
+		if !ok {
+			break
+		}
+		validLen += int64(len(line))
+		jobs = applyRecord(rep, jobs, byID, rec)
+	}
+	// Order by sequence for deterministic re-enqueue (records are
+	// already appended in order; the sort makes it an invariant).
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Seq < jobs[j].Seq })
+	rep.Jobs = make([]ReplayJob, len(jobs))
+	for i, j := range jobs {
+		rep.Jobs[i] = *j
+	}
+	return rep, validLen, nil
+}
+
+// parseLine validates one "crc8hex space json" line.
+func parseLine(line []byte) (record, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return record{}, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return record{}, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return record{}, false
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return record{}, false
+	}
+	return rec, true
+}
+
+// applyRecord folds one valid record into the replay state. Records
+// referencing unknown jobs (possible only if a submit was lost to a
+// truncated prefix, which cannot happen in an append-only file) are
+// ignored rather than fatal.
+func applyRecord(rep *Replay, jobs []*ReplayJob, byID map[string]*ReplayJob, rec record) []*ReplayJob {
+	switch rec.T {
+	case "submit":
+		if rec.Spec == nil || rec.ID == "" {
+			return jobs
+		}
+		j := &ReplayJob{ID: rec.ID, Seq: rec.Seq, Spec: *rec.Spec, State: StateQueued}
+		jobs = append(jobs, j)
+		byID[rec.ID] = j
+		if rec.Seq >= rep.NextSeq {
+			rep.NextSeq = rec.Seq + 1
+		}
+	case "start":
+		if j := byID[rec.ID]; j != nil {
+			j.Started = true
+			j.State = StateRunning
+		}
+	case "finish":
+		if j := byID[rec.ID]; j != nil {
+			j.Finished = true
+			j.State = rec.State
+			j.Output = rec.Output
+			j.Error = rec.Error
+		}
+	}
+	return jobs
+}
+
+// append journals one record: marshal, CRC, write, fsync. A nil
+// journal (daemon running without persistence) is a no-op.
+func (j *Journal) append(rec record) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.WriteString(line); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the journal file. A nil journal is a no-op.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	return j.f.Close()
+}

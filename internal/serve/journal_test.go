@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.journal")
+}
+
+// A journal written by one process must replay into the same job
+// table in a second one: finished jobs with their outputs, unfinished
+// ones flagged for re-run, sequence numbering continuing where it
+// left off.
+func TestJournalRoundTrip(t *testing.T) {
+	path := tmpJournal(t)
+	j, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 0 || rep.NextSeq != 1 {
+		t.Fatalf("fresh journal replayed %d jobs, NextSeq %d", len(rep.Jobs), rep.NextSeq)
+	}
+
+	spec1 := JobSpec{Experiments: []string{"fig10"}, Refs: 1000}
+	spec2 := JobSpec{Experiments: []string{"table4"}, Workers: 1}
+	records := []record{
+		{T: "submit", ID: "j1", Seq: 1, Spec: &spec1},
+		{T: "start", ID: "j1"},
+		{T: "finish", ID: "j1", State: StateDone, Output: "line one\nline two\n"},
+		{T: "submit", ID: "j2", Seq: 2, Spec: &spec2},
+		{T: "start", ID: "j2"},
+	}
+	for _, rec := range records {
+		if err := j.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rep2.TruncatedBytes != 0 {
+		t.Fatalf("clean journal reported %d truncated bytes", rep2.TruncatedBytes)
+	}
+	if len(rep2.Jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(rep2.Jobs))
+	}
+	if rep2.NextSeq != 3 {
+		t.Fatalf("NextSeq = %d, want 3", rep2.NextSeq)
+	}
+	j1 := rep2.Jobs[0]
+	if !j1.Finished || j1.State != StateDone || j1.Output != "line one\nline two\n" {
+		t.Fatalf("j1 replayed wrong: %+v", j1)
+	}
+	if j1.Spec.Refs != 1000 || j1.Spec.Experiments[0] != "fig10" {
+		t.Fatalf("j1 spec replayed wrong: %+v", j1.Spec)
+	}
+	jb2 := rep2.Jobs[1]
+	if jb2.Finished || !jb2.Started || !jb2.Unfinished() {
+		t.Fatalf("j2 must replay as started-but-unfinished: %+v", jb2)
+	}
+}
+
+// A SIGKILL can land mid-append. The torn final line must be dropped
+// and truncated away; everything before it replays, and the journal
+// accepts new appends afterwards.
+func TestJournalTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig4"}}
+	if err := j.append(record{T: "submit", ID: "j1", Seq: 1, Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn write: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"t":"fini`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	if len(rep.Jobs) != 1 || rep.Jobs[0].Finished {
+		t.Fatalf("replay after torn tail: %+v", rep.Jobs)
+	}
+	// The tail must be physically gone so appends extend a valid file.
+	if err := j2.append(record{T: "finish", ID: "j1", State: StateDone, Output: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	_, rep3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep3.TruncatedBytes != 0 {
+		t.Fatalf("journal still torn after truncation: %d bytes", rep3.TruncatedBytes)
+	}
+	if len(rep3.Jobs) != 1 || !rep3.Jobs[0].Finished || rep3.Jobs[0].Output != "ok" {
+		t.Fatalf("post-truncation append lost: %+v", rep3.Jobs)
+	}
+}
+
+// A CRC mismatch marks the end of the trusted prefix: replay keeps
+// everything before it and discards the rest (append-only journals
+// cannot have valid data after a corrupt record that the daemon
+// should trust).
+func TestJournalCorruptLineEndsPrefix(t *testing.T) {
+	path := tmpJournal(t)
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Experiments: []string{"fig4"}}
+	for i, rec := range []record{
+		{T: "submit", ID: "j1", Seq: 1, Spec: &spec},
+		{T: "submit", ID: "j2", Seq: 2, Spec: &spec},
+		{T: "submit", ID: "j3", Seq: 3, Spec: &spec},
+	} {
+		if err := j.append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	j.Close()
+
+	// Corrupt one byte inside the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("journal has %d lines", len(lines))
+	}
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x01
+	corrupted := lines[0] + string(mid) + lines[2]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(rep.Jobs) != 1 || rep.Jobs[0].ID != "j1" {
+		t.Fatalf("replay past a corrupt record: %+v", rep.Jobs)
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("corrupt suffix not counted as truncated")
+	}
+	if rep.NextSeq != 2 {
+		t.Fatalf("NextSeq = %d, want 2", rep.NextSeq)
+	}
+}
+
+// A nil journal (persistence disabled) must be a safe no-op.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	if err := j.append(record{T: "start", ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

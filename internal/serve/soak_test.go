@@ -1,0 +1,321 @@
+// Load/soak proof for the daemon, in the external test package so it
+// can exercise the real HTTP surface through internal/serve/client
+// (which imports serve) without an import cycle.
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dice/internal/leakcheck"
+	"dice/internal/serve"
+	"dice/internal/serve/client"
+)
+
+// TestSoakConcurrentSubmissions floods the daemon with concurrent
+// submissions through the retrying client — far more than the queue
+// holds — and proves the robustness contract end to end:
+//
+//   - backpressure engaged: some submissions were rejected with 429
+//     and absorbed by client retries (no job was lost);
+//   - queue depth stayed bounded at QueueCap;
+//   - every job's output is byte-identical to a serial (workers=1)
+//     reference run of the same spec — concurrency changes timing,
+//     never results;
+//   - no goroutines leak once the daemon shuts down.
+//
+// The default size keeps tier-1 wall-clock small; DICE_SMOKE=1 (the
+// same gate as bench-smoke) raises it to the full 200-job soak used
+// by `make soak` and CI's race job.
+func TestSoakConcurrentSubmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	verifyLeaks := leakcheck.Check(t)
+
+	jobs := 60
+	if os.Getenv("DICE_SMOKE") == "1" {
+		jobs = 200
+	}
+	const queueCap = 32
+
+	d, _, err := serve.New(serve.Config{
+		JournalPath: filepath.Join(t.TempDir(), "soak.journal"),
+		QueueCap:    queueCap,
+		JobWorkers:  4,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four distinct flood specs so the byte-equality check is not
+	// trivially one cached string; metrics-demo at tiny ref budgets
+	// keeps each flood job in the low milliseconds. The prefill below
+	// uses a fifth, slower shape.
+	specFor := func(i int) serve.JobSpec {
+		return serve.JobSpec{
+			Experiments: []string{"metrics-demo"},
+			Refs:        300 + (i%4)*50,
+			Scale:       12,
+			Workers:     2,
+		}
+	}
+	// Serial references: workers=1, same spec, computed outside the
+	// daemon. The acceptance bar is byte-identity per job.
+	refs := make(map[int]string)
+	refFor := func(i int) string {
+		spec := specFor(i)
+		if out, ok := refs[spec.Refs]; ok {
+			return out
+		}
+		spec.Workers = 1
+		out, err := serve.RunSpec(context.Background(), spec, 0)
+		if err != nil {
+			t.Fatalf("reference run refs=%d: %v", spec.Refs, err)
+		}
+		refs[spec.Refs] = out
+		return out
+	}
+
+	httpClient := &http.Client{}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Prefill: stuff the queue to its cap with slow jobs through a
+	// retrying client. While these drain, the flood below is
+	// guaranteed to meet a full queue and take 429s. Each prefill job
+	// gets a distinct ref budget: the process-wide workload artifact
+	// cache would otherwise collapse identical specs to near-zero
+	// runtime and let the queue drain before the flood arrives.
+	prefillSpec := func(i int) serve.JobSpec {
+		return serve.JobSpec{
+			Experiments: []string{"metrics-demo"}, Refs: 3_000 + i*7, Scale: 12, Workers: 2,
+		}
+	}
+	prefill := client.New("http://"+addr.String(), 99)
+	prefill.HTTPClient = httpClient
+	prefill.BaseDelay = 5 * time.Millisecond
+	prefill.MaxDelay = 100 * time.Millisecond
+	prefill.MaxAttempts = 400
+	prefillIDs := make([]string, 0, queueCap+4)
+	for i := 0; i < queueCap+4; i++ {
+		st, err := prefill.Submit(ctx, prefillSpec(i))
+		if err != nil {
+			t.Fatalf("prefill %d: %v", i, err)
+		}
+		prefillIDs = append(prefillIDs, st.ID)
+	}
+
+	type result struct {
+		idx int
+		st  serve.JobStatus
+		err error
+	}
+	results := make(chan result, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := client.New("http://"+addr.String(), int64(i))
+			c.HTTPClient = httpClient
+			c.BaseDelay = 5 * time.Millisecond
+			c.MaxDelay = 100 * time.Millisecond
+			c.MaxAttempts = 400
+			st, err := c.Submit(ctx, specFor(i))
+			if err == nil {
+				st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
+			}
+			results <- result{i, st, err}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	for i, id := range prefillIDs {
+		st, err := prefill.Wait(ctx, id, 10*time.Millisecond)
+		if err != nil {
+			t.Fatalf("prefill job %d: %v", i, err)
+		}
+		if st.State != serve.StateDone {
+			t.Fatalf("prefill job %d finished %s (%s)", i, st.State, st.Error)
+		}
+		// Byte-identity spot check on the first two prefill jobs (a
+		// serial reference per distinct budget would double the test).
+		if i < 2 && !st.OutputDropped {
+			spec := prefillSpec(i)
+			spec.Workers = 1
+			want, err := serve.RunSpec(context.Background(), spec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Output != want {
+				t.Fatalf("prefill job %d diverged from serial reference", i)
+			}
+		}
+	}
+
+	mismatches := 0
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("job %d: %v", r.idx, r.err)
+		}
+		if r.st.State != serve.StateDone {
+			t.Fatalf("job %d finished %s (%s)", r.idx, r.st.State, r.st.Error)
+		}
+		if r.st.OutputDropped {
+			continue // retention evicted it; equality checked via the rest
+		}
+		if want := refFor(r.idx); r.st.Output != want {
+			mismatches++
+			if mismatches <= 3 {
+				t.Errorf("job %d output diverges from serial reference:\n got %d bytes\nwant %d bytes", r.idx, len(r.st.Output), len(want))
+			}
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d of %d jobs diverged from the serial reference", mismatches, jobs)
+	}
+
+	st := d.Stats()
+	if st.Rejected == 0 {
+		t.Errorf("no 429s with %d submissions against a %d-deep queue: backpressure never engaged", jobs, queueCap)
+	}
+	if st.MaxQueueDepth > queueCap {
+		t.Errorf("queue depth peaked at %d, above its %d bound", st.MaxQueueDepth, queueCap)
+	}
+	if want := uint64(jobs + len(prefillIDs)); st.Done != want {
+		t.Errorf("daemon completed %d jobs, want %d", st.Done, want)
+	}
+	t.Logf("soak: %d jobs, %d rejections absorbed by retry, peak queue depth %d",
+		jobs, st.Rejected, st.MaxQueueDepth)
+
+	// Drop the client's pooled connections first so the server's own
+	// shutdown never waits on idle keep-alives.
+	httpClient.CloseIdleConnections()
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := d.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	verifyLeaks()
+}
+
+// TestRestartReplayMatchesUninterrupted proves the crash-safety bar
+// with the real executor: a daemon killed with work outstanding (here:
+// shut down with a queued job checkpointed, the journal's crash
+// image) re-runs it on restart and produces bytes identical to a run
+// that was never interrupted. The SIGKILL variant of this lives in
+// cmd/dicebenchd's smoke test; this covers the journal/replay half
+// in-process.
+func TestRestartReplayMatchesUninterrupted(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "restart.journal")
+	spec := serve.JobSpec{Experiments: []string{"metrics-demo"}, Refs: 400, Scale: 12}
+
+	want, err := serve.RunSpec(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: zero workers would be ideal, but the minimum is one;
+	// instead submit while draining is not yet possible — so submit,
+	// then shut down immediately with a zero drain budget so the job
+	// is checkpointed rather than run.
+	d1, _, err := serve.New(serve.Config{JournalPath: journal, QueueCap: 4, JobWorkers: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := d1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	d1.Shutdown(ctx)
+	cancel()
+
+	// Second life: the journal replays the unfinished job and runs it.
+	d2, rep, err := serve.New(serve.Config{JournalPath: journal, QueueCap: 4, JobWorkers: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		d2.Shutdown(sctx)
+	}()
+	if len(rep.Jobs) != 1 {
+		t.Fatalf("replay saw %d jobs, want 1", len(rep.Jobs))
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got, err := d2.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State.Terminal() {
+			if got.State != serve.StateDone {
+				t.Fatalf("replayed job finished %s (%s)", got.State, got.Error)
+			}
+			if !got.Replayed {
+				t.Fatal("job not marked replayed")
+			}
+			if got.Output != want {
+				t.Fatalf("replayed run diverged from uninterrupted run:\n got %d bytes\nwant %d bytes", len(got.Output), len(want))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed job stuck in %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Example-shaped guard that the exported API stays wired: a daemon
+// with persistence disabled accepts and runs a job purely in memory.
+func TestInMemoryDaemonNoJournal(t *testing.T) {
+	d, rep, err := serve.New(serve.Config{QueueCap: 2, JobWorkers: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer scancel()
+		d.Shutdown(sctx)
+	}()
+	if rep != nil && len(rep.Jobs) != 0 {
+		t.Fatalf("journal-less daemon replayed jobs: %+v", rep)
+	}
+	st, err := d.Submit(serve.JobSpec{Experiments: []string{"metrics-demo"}, Refs: 300, Scale: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got, err := d.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State.Terminal() {
+			if got.State != serve.StateDone || got.Output == "" {
+				t.Fatalf("in-memory job: %+v", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal(fmt.Sprintf("in-memory job stuck in %s", got.State))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

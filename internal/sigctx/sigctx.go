@@ -1,0 +1,39 @@
+// Package sigctx is the one shared signal-to-context bridge for every
+// DICE process: the CLIs (dicebench, dicesim) and the experiment
+// daemon (dicebenchd) all derive their shutdown context here, so
+// SIGINT and SIGTERM behave identically everywhere — first signal
+// cancels the context (cooperative shutdown: queued work is skipped,
+// in-flight work completes, partial results print), second signal
+// falls through to the Go runtime's default handler and terminates
+// the process immediately.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Signals are the shutdown signals every DICE process listens for:
+// interactive interrupt (Ctrl-C) and the supervisor's terminate.
+var Signals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+
+// WithShutdown returns a child of parent that is cancelled on the
+// first SIGINT or SIGTERM. The signal handler unregisters itself as
+// soon as the context is done (whether by signal or by the returned
+// stop function), so a second signal kills the process the default
+// way — the escape hatch when cooperative shutdown hangs.
+//
+// The returned stop function releases the handler and must be called
+// on every exit path (defer it).
+func WithShutdown(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, Signals...)
+	go func() {
+		// Once cancelled — by signal or programmatically — drop the
+		// handler so the next signal is fatal rather than absorbed.
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

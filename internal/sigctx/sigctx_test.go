@@ -1,0 +1,53 @@
+package sigctx
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// A SIGTERM delivered to the process must cancel the context. (The
+// test sends the signal to itself; the handler is registered for the
+// whole process, so this exercises the real delivery path.)
+func TestSIGTERMCancels(t *testing.T) {
+	ctx, stop := WithShutdown(context.Background())
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGTERM")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// stop must cancel the context even when no signal ever arrives, so
+// `defer stop()` never leaks the handler goroutine.
+func TestStopCancels(t *testing.T) {
+	ctx, stop := WithShutdown(context.Background())
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop() did not cancel the context")
+	}
+}
+
+// Cancelling the parent flows through to the derived context.
+func TestParentCancelFlowsThrough(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := WithShutdown(parent)
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("parent cancellation did not propagate")
+	}
+}
