@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race fuzz vet lint bench bench-smoke soak daemon-smoke evaluate examples clean
+.PHONY: all build test test-race fuzz vet lint bench bench-smoke soak daemon-smoke sweep-smoke evaluate examples clean
 
 # LINTDOC_PKGS are the packages held to the 100%-documented bar; grow
 # the list as packages reach it.
 LINTDOC_PKGS = ./internal/obs ./internal/fault ./internal/parallel \
 	./internal/serve ./internal/serve/client ./internal/sigctx \
-	./internal/leakcheck
+	./internal/leakcheck ./internal/dse ./internal/clidoc \
+	./internal/experiments ./cmd/dicesweep
 
 all: build vet lint test
 
@@ -86,6 +87,15 @@ soak:
 # byte-equality check.
 daemon-smoke:
 	$(GO) test -run='^TestDaemon' -count=1 -v ./cmd/dicebenchd
+
+# Sweep smoke: build the real dicesweep and dicebenchd binaries and
+# run the DSE acceptance bar end to end — a three-axis spec expanding
+# to 320 cells through the local pool at workers 8 and workers 1 AND
+# sharded over a live daemon, frontier exports byte-compared across
+# all three, plus the SIGINT-mid-sweep / -resume round trip. Records
+# the headline cells/hour number to BENCH_pr8.json.
+sweep-smoke:
+	DICE_SMOKE=1 $(GO) test -run='^TestSweepSmoke' -count=1 -v ./cmd/dicesweep
 
 # The evaluation as readable tables (several minutes).
 evaluate:

@@ -52,27 +52,73 @@ import (
 	"dice/internal/workloads"
 )
 
-func main() {
-	var (
-		run      = flag.String("run", "all", "experiment ids, comma separated, or 'all'")
-		refs     = flag.Int("refs", 60_000, "measured references per core")
-		scale    = flag.Uint("scale", 0, "system scale shift (0 = 10)")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)")
-		faultBER = flag.Float64("fault-ber", 0, "raw bit-error rate injected into every simulation (0 = off)")
-		faultSd  = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
-		faultPol = flag.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)")
-		artCache = flag.Bool("artifact-cache", true, "share built workload artifacts across the matrix (results are identical either way)")
-		simCore  = flag.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		verbose  = flag.Bool("v", false, "print each simulation as it completes")
+// cliFlags holds every dicebench flag; registerFlags is the one place
+// they are declared, shared by main and the flag-docs pin test.
+type cliFlags struct {
+	run      *string
+	refs     *int
+	scale    *uint
+	workers  *int
+	faultBER *float64
+	faultSd  *uint64
+	faultPol *string
+	artCache *bool
+	simCore  *string
+	list     *bool
+	verbose  *bool
 
-		metricsOut   = flag.String("metrics-out", "", "write per-simulation epoch metrics to this file (.csv = CSV, else JSON)")
-		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out")
-		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		selfStats    = flag.Bool("selfstats", false, "print the simulator's own allocation/GC cost")
-	)
+	metricsOut   *string
+	metricsEpoch *uint64
+	cpuProfile   *string
+	memProfile   *string
+	selfStats    *bool
+}
+
+// registerFlags declares the dicebench flags on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		run:      fs.String("run", "all", "experiment ids, comma separated, or 'all'"),
+		refs:     fs.Int("refs", 60_000, "measured references per core"),
+		scale:    fs.Uint("scale", 0, "system scale shift (0 = 10)"),
+		workers:  fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)"),
+		faultBER: fs.Float64("fault-ber", 0, "raw bit-error rate injected into every simulation (0 = off)"),
+		faultSd:  fs.Uint64("fault-seed", 0, "seed for the deterministic fault stream"),
+		faultPol: fs.String("fault-policy", "", "ECC/recovery policy: none|ecc|ecc+quarantine (default)"),
+		artCache: fs.Bool("artifact-cache", true, "share built workload artifacts across the matrix (results are identical either way)"),
+		simCore:  fs.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)"),
+		list:     fs.Bool("list", false, "list experiments and exit"),
+		verbose:  fs.Bool("v", false, "print each simulation as it completes"),
+
+		metricsOut:   fs.String("metrics-out", "", "write per-simulation epoch metrics to this file (.csv = CSV, else JSON)"),
+		metricsEpoch: fs.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out"),
+		cpuProfile:   fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		memProfile:   fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+		selfStats:    fs.Bool("selfstats", false, "print the simulator's own allocation/GC cost"),
+	}
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		run      = o.run
+		refs     = o.refs
+		scale    = o.scale
+		workers  = o.workers
+		faultBER = o.faultBER
+		faultSd  = o.faultSd
+		faultPol = o.faultPol
+		artCache = o.artCache
+		simCore  = o.simCore
+		list     = o.list
+		verbose  = o.verbose
+
+		metricsOut   = o.metricsOut
+		metricsEpoch = o.metricsEpoch
+		cpuProfile   = o.cpuProfile
+		memProfile   = o.memProfile
+		selfStats    = o.selfStats
+	)
 
 	if err := validateFlags(*metricsEpoch, *workers, *simCore); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -40,20 +40,39 @@ import (
 	"dice/internal/sigctx"
 )
 
+// cliFlags holds every dicebenchd flag; registerFlags is the one
+// place they are declared, shared by main and the flag-docs pin test.
+type cliFlags struct {
+	addr       *string
+	journal    *string
+	queueCap   *int
+	jobWorkers *int
+	refs       *int
+	deadline   *time.Duration
+	drain      *time.Duration
+	retain     *int
+	quiet      *bool
+}
+
+// registerFlags declares the dicebenchd flags on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		addr:       fs.String("addr", "127.0.0.1:8377", "listen address (host:0 picks an ephemeral port)"),
+		journal:    fs.String("journal", "dicebenchd.journal", "crash-safe job journal path ('' disables persistence)"),
+		queueCap:   fs.Int("queue-cap", 64, "queued-job bound; submissions beyond it get 429 + Retry-After"),
+		jobWorkers: fs.Int("job-workers", 1, "jobs run concurrently (each job fans out its own simulations)"),
+		refs:       fs.Int("refs", 60_000, "default measured references per core for specs that omit refs"),
+		deadline:   fs.Duration("deadline", 0, "default per-job deadline for specs that omit one (0 = none)"),
+		drain:      fs.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to let in-flight jobs finish"),
+		retain:     fs.Int("retain-outputs", 256, "terminal jobs whose output bytes stay in memory (older ones remain in the journal)"),
+		quiet:      fs.Bool("q", false, "suppress per-job log lines"),
+	}
+}
+
 func main() {
-	var (
-		addr       = flag.String("addr", "127.0.0.1:8377", "listen address (host:0 picks an ephemeral port)")
-		journal    = flag.String("journal", "dicebenchd.journal", "crash-safe job journal path ('' disables persistence)")
-		queueCap   = flag.Int("queue-cap", 64, "queued-job bound; submissions beyond it get 429 + Retry-After")
-		jobWorkers = flag.Int("job-workers", 1, "jobs run concurrently (each job fans out its own simulations)")
-		refs       = flag.Int("refs", 60_000, "default measured references per core for specs that omit refs")
-		deadline   = flag.Duration("deadline", 0, "default per-job deadline for specs that omit one (0 = none)")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long to let in-flight jobs finish")
-		retain     = flag.Int("retain-outputs", 256, "terminal jobs whose output bytes stay in memory (older ones remain in the journal)")
-		quiet      = flag.Bool("q", false, "suppress per-job log lines")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*addr, *journal, *queueCap, *jobWorkers, *refs, *deadline, *drain, *retain, *quiet); err != nil {
+	if err := run(*o.addr, *o.journal, *o.queueCap, *o.jobWorkers, *o.refs, *o.deadline, *o.drain, *o.retain, *o.quiet); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -44,34 +44,94 @@ import (
 	"dice/internal/workloads"
 )
 
-func main() {
-	var (
-		workload  = flag.String("workload", "gcc", "workload name (see -list)")
-		policy    = flag.String("policy", "dice", "cache policy: base|tsi|nsi|bai|dice|scc")
-		org       = flag.String("org", "alloy", "tag organization: alloy|knl")
-		threshold = flag.Int("threshold", 0, "DICE BAI-insertion threshold in bytes (0 = 36)")
-		refs      = flag.Int("refs", 0, "measured references per core (0 = auto)")
-		scale     = flag.Uint("scale", 0, "system scale shift (0 = 10, i.e. 1/1024 of 1GB)")
-		capMult   = flag.Int("cap", 1, "L4 capacity multiplier")
-		bwMult    = flag.Int("bw", 1, "L4 bandwidth (channel) multiplier")
-		halfLat   = flag.Bool("halflat", false, "halve L4 DRAM latencies")
-		prefetch  = flag.String("prefetch", "none", "L3 prefetch: none|nextline|wide128")
-		faultBER  = flag.Float64("fault-ber", 0, "raw bit-error rate injected into L4 reads (0 = off)")
-		faultSeed = flag.Uint64("fault-seed", 0, "seed for the deterministic fault stream")
-		faultPol  = flag.String("fault-policy", "ecc+quarantine", "ECC/recovery policy: none|ecc|ecc+quarantine")
-		baseline  = flag.Bool("baseline", false, "also run the uncompressed baseline and report speedup")
-		workers   = flag.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)")
-		artCache  = flag.Bool("artifact-cache", true, "share built workload artifacts across runs in this process (results are identical either way)")
-		simCore   = flag.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)")
-		list      = flag.Bool("list", false, "list workloads and exit")
+// cliFlags holds every dicesim flag; registerFlags is the one place
+// they are declared, shared by main and the flag-docs pin test.
+type cliFlags struct {
+	workload  *string
+	policy    *string
+	org       *string
+	threshold *int
+	refs      *int
+	scale     *uint
+	capMult   *int
+	bwMult    *int
+	halfLat   *bool
+	prefetch  *string
+	faultBER  *float64
+	faultSeed *uint64
+	faultPol  *string
+	baseline  *bool
+	workers   *int
+	artCache  *bool
+	simCore   *string
+	list      *bool
 
-		metricsOut   = flag.String("metrics-out", "", "write epoch metrics to this file (.csv = CSV, else JSON)")
-		metricsEpoch = flag.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out")
-		traceEvents  = flag.String("trace-events", "", "print component events: comma-separated from cip,fault,dcache,dram,sim, or 'all'")
-		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
-	)
+	metricsOut   *string
+	metricsEpoch *uint64
+	traceEvents  *string
+	cpuProfile   *string
+	memProfile   *string
+}
+
+// registerFlags declares the dicesim flags on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		workload:  fs.String("workload", "gcc", "workload name (see -list)"),
+		policy:    fs.String("policy", "dice", "cache policy: base|tsi|nsi|bai|dice|scc"),
+		org:       fs.String("org", "alloy", "tag organization: alloy|knl"),
+		threshold: fs.Int("threshold", 0, "DICE BAI-insertion threshold in bytes (0 = 36)"),
+		refs:      fs.Int("refs", 0, "measured references per core (0 = auto)"),
+		scale:     fs.Uint("scale", 0, "system scale shift (0 = 10, i.e. 1/1024 of 1GB)"),
+		capMult:   fs.Int("cap", 1, "L4 capacity multiplier"),
+		bwMult:    fs.Int("bw", 1, "L4 bandwidth (channel) multiplier"),
+		halfLat:   fs.Bool("halflat", false, "halve L4 DRAM latencies"),
+		prefetch:  fs.String("prefetch", "none", "L3 prefetch: none|nextline|wide128"),
+		faultBER:  fs.Float64("fault-ber", 0, "raw bit-error rate injected into L4 reads (0 = off)"),
+		faultSeed: fs.Uint64("fault-seed", 0, "seed for the deterministic fault stream"),
+		faultPol:  fs.String("fault-policy", "ecc+quarantine", "ECC/recovery policy: none|ecc|ecc+quarantine"),
+		baseline:  fs.Bool("baseline", false, "also run the uncompressed baseline and report speedup"),
+		workers:   fs.Int("workers", 0, "concurrent simulations with -baseline (0 = one per CPU, 1 = serial)"),
+		artCache:  fs.Bool("artifact-cache", true, "share built workload artifacts across runs in this process (results are identical either way)"),
+		simCore:   fs.String("sim-core", "event", "simulation core: event (discrete-event, default) or cycle (cycle-stepped reference; results are identical either way)"),
+		list:      fs.Bool("list", false, "list workloads and exit"),
+
+		metricsOut:   fs.String("metrics-out", "", "write epoch metrics to this file (.csv = CSV, else JSON)"),
+		metricsEpoch: fs.Uint64("metrics-epoch", 100_000, "epoch length in simulated cycles for -metrics-out"),
+		traceEvents:  fs.String("trace-events", "", "print component events: comma-separated from cip,fault,dcache,dram,sim, or 'all'"),
+		cpuProfile:   fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		memProfile:   fs.String("memprofile", "", "write a pprof heap profile to this file on exit"),
+	}
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		workload  = o.workload
+		policy    = o.policy
+		org       = o.org
+		threshold = o.threshold
+		refs      = o.refs
+		scale     = o.scale
+		capMult   = o.capMult
+		bwMult    = o.bwMult
+		halfLat   = o.halfLat
+		prefetch  = o.prefetch
+		faultBER  = o.faultBER
+		faultSeed = o.faultSeed
+		faultPol  = o.faultPol
+		baseline  = o.baseline
+		workers   = o.workers
+		artCache  = o.artCache
+		simCore   = o.simCore
+		list      = o.list
+
+		metricsOut   = o.metricsOut
+		metricsEpoch = o.metricsEpoch
+		traceEvents  = o.traceEvents
+		cpuProfile   = o.cpuProfile
+		memProfile   = o.memProfile
+	)
 
 	if err := validateFlags(*metricsEpoch, *workers, *simCore); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Sweep acceptance smoke (make sweep-smoke, DICE_SMOKE=1): build the
+// real dicesweep and dicebenchd binaries and drive the full
+// acceptance bar from the outside — a three-axis spec expanding past
+// 200 cells runs locally at workers 8 and workers 1 and sharded over
+// a live daemon with byte-identical frontier exports, and a sweep
+// killed mid-run resumes without re-running logged cells.
+
+var (
+	buildOnce  sync.Once
+	buildErr   error
+	sweepBin   string
+	benchdBin  string
+	cellCensus = regexp.MustCompile(`expands to (\d+) cells`)
+	ranCounts  = regexp.MustCompile(`\((\d+) run now, (\d+) replayed\)`)
+)
+
+func binaries(t *testing.T) (sweep, benchd string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "dicesweep-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		sweepBin = filepath.Join(dir, "dicesweep")
+		benchdBin = filepath.Join(dir, "dicebenchd")
+		for bin, pkg := range map[string]string{sweepBin: "dice/cmd/dicesweep", benchdBin: "dice/cmd/dicebenchd"} {
+			out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+			if err != nil {
+				buildErr = fmt.Errorf("go build %s: %v\n%s", pkg, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return sweepBin, benchdBin
+}
+
+// sweepSmoke is the acceptance spec: three swept axes (policy,
+// threshold, latency) over the 16-workload rate suite — 288 requested
+// cells plus 32 auto-added baselines, comfortably past the 200-cell
+// bar at a reference budget small enough to finish in seconds.
+const sweepSmoke = `
+name = sweep-smoke
+refs = 120
+workload = rate
+policy = base tsi dice
+threshold = 24 36 48
+latency = full half
+`
+
+// runSweep invokes the dicesweep binary and returns its combined
+// output, failing the test unless the exit status matches wantOK.
+func runSweep(t *testing.T, wantOK bool, args ...string) string {
+	t.Helper()
+	sweep, _ := binaries(t)
+	cmd := exec.Command(sweep, args...)
+	out, err := cmd.CombinedOutput()
+	if wantOK && err != nil {
+		t.Fatalf("dicesweep %v: %v\n%s", args, err, out)
+	}
+	if !wantOK && err == nil {
+		t.Fatalf("dicesweep %v succeeded, expected failure\n%s", args, out)
+	}
+	return string(out)
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSweepSmokeLocalDaemonParity is the headline acceptance run:
+// local workers 8 vs workers 1 vs daemon-sharded, all three frontier
+// exports byte-identical, cells/hour recorded to BENCH_pr8.json.
+func TestSweepSmokeLocalDaemonParity(t *testing.T) {
+	if os.Getenv("DICE_SMOKE") == "" {
+		t.Skip("set DICE_SMOKE=1 (make sweep-smoke) to run the sweep acceptance smoke")
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "smoke.sweep")
+	if err := os.WriteFile(specPath, []byte(sweepSmoke), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchPath, err := filepath.Abs("../../BENCH_pr8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out8 := runSweep(t, true,
+		"-spec", specPath, "-log", filepath.Join(dir, "l8.results"),
+		"-out", filepath.Join(dir, "f8"), "-workers", "8", "-bench-out", benchPath)
+	m := cellCensus.FindStringSubmatch(out8)
+	if m == nil {
+		t.Fatalf("no cell census in output:\n%s", out8)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 200 {
+		t.Fatalf("spec expands to %d cells, acceptance bar is >= 200", n)
+	}
+	if _, err := os.Stat(benchPath); err != nil {
+		t.Fatalf("bench record not written: %v", err)
+	}
+
+	runSweep(t, true,
+		"-spec", specPath, "-log", filepath.Join(dir, "l1.results"),
+		"-out", filepath.Join(dir, "f1"), "-workers", "1")
+	for _, ext := range []string{".csv", ".json"} {
+		w8 := readFile(t, filepath.Join(dir, "f8"+ext))
+		w1 := readFile(t, filepath.Join(dir, "f1"+ext))
+		if string(w8) != string(w1) {
+			t.Fatalf("frontier%s diverges between workers 8 and 1", ext)
+		}
+	}
+
+	// Shard the same matrix over a live dicebenchd subprocess.
+	d := startBenchd(t, "-journal", filepath.Join(dir, "d.journal"), "-q")
+	runSweep(t, true,
+		"-spec", specPath, "-log", filepath.Join(dir, "ld.results"),
+		"-out", filepath.Join(dir, "fd"),
+		"-daemons", "http://"+d.addr, "-batch", "64", "-poll", "10ms")
+	for _, ext := range []string{".csv", ".json"} {
+		local := readFile(t, filepath.Join(dir, "f8"+ext))
+		shard := readFile(t, filepath.Join(dir, "fd"+ext))
+		if string(local) != string(shard) {
+			t.Fatalf("frontier%s diverges between local and daemon-sharded runs", ext)
+		}
+	}
+}
+
+// TestSweepSmokeKillResume interrupts a serial sweep mid-run with
+// SIGINT, then re-invokes it with -resume: the logged cells replay
+// instead of re-running, the sweep completes, and the resumed
+// frontier is byte-identical to an uninterrupted run's.
+func TestSweepSmokeKillResume(t *testing.T) {
+	if os.Getenv("DICE_SMOKE") == "" {
+		t.Skip("set DICE_SMOKE=1 (make sweep-smoke) to run the sweep acceptance smoke")
+	}
+	dir := t.TempDir()
+	// A heavier per-cell budget over a smaller matrix (32 cells), so
+	// SIGINT reliably lands while cells are still queued at workers 1.
+	spec := "name = kill-resume\nrefs = 5000\nworkload = rate\npolicy = base dice\n"
+	specPath := filepath.Join(dir, "kill.sweep")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "lk.results")
+
+	sweep, _ := binaries(t)
+	cmd := exec.Command(sweep,
+		"-spec", specPath, "-log", logPath,
+		"-out", filepath.Join(dir, "fk"), "-workers", "1")
+	var outBuf strings.Builder
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &outBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first completed cell to hit the results log, then
+	// interrupt without ceremony.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if fi, err := os.Stat(logPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no cell ever reached the results log\n%s", outBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	interrupted := err != nil // exit 1 unless the sweep won the race and finished
+
+	// Resume: logged cells replay, only the rest run.
+	resumeOut := runSweep(t, true,
+		"-spec", specPath, "-log", logPath,
+		"-out", filepath.Join(dir, "fk"), "-workers", "1", "-resume")
+	m := ranCounts.FindStringSubmatch(resumeOut)
+	if m == nil {
+		t.Fatalf("no run/replay counts in resume output:\n%s", resumeOut)
+	}
+	ran, _ := strconv.Atoi(m[1])
+	replayed, _ := strconv.Atoi(m[2])
+	if replayed == 0 {
+		t.Fatalf("resume replayed no cells (interrupted=%v):\n%s", interrupted, resumeOut)
+	}
+	if interrupted && ran == 0 {
+		t.Fatalf("interrupted sweep left nothing to run:\n%s", resumeOut)
+	}
+	if ran+replayed != 32 {
+		t.Fatalf("resume accounts for %d+%d cells, want 32", ran, replayed)
+	}
+
+	// Without -resume, a populated log is an error, never overwritten.
+	refuse := runSweep(t, false,
+		"-spec", specPath, "-log", logPath, "-out", filepath.Join(dir, "fx"))
+	if !strings.Contains(refuse, "-resume") {
+		t.Fatalf("populated-log refusal does not mention -resume:\n%s", refuse)
+	}
+
+	// The interrupted-then-resumed frontier matches an uninterrupted run.
+	runSweep(t, true,
+		"-spec", specPath, "-log", filepath.Join(dir, "lref.results"),
+		"-out", filepath.Join(dir, "fref"), "-workers", "4")
+	for _, ext := range []string{".csv", ".json"} {
+		resumed := readFile(t, filepath.Join(dir, "fk"+ext))
+		ref := readFile(t, filepath.Join(dir, "fref"+ext))
+		if string(resumed) != string(ref) {
+			t.Fatalf("resumed frontier%s diverges from an uninterrupted run", ext)
+		}
+	}
+}
+
+// benchdProc is one running dicebenchd subprocess plus its scraped
+// address (the same harness cmd/dicebenchd's own smoke tests use).
+type benchdProc struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+// startBenchd launches dicebenchd on an ephemeral port and scrapes
+// the "listening on" line for the bound address.
+func startBenchd(t *testing.T, args ...string) *benchdProc {
+	t.Helper()
+	_, benchd := binaries(t)
+	cmd := exec.Command(benchd, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &benchdProc{cmd: cmd, done: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "dicebenchd: listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	go func() { p.done <- cmd.Wait() }()
+	select {
+	case p.addr = <-addrCh:
+	case err := <-p.done:
+		t.Fatalf("dicebenchd exited before listening: %v", err)
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("dicebenchd never printed its address")
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			<-p.done
+		}
+	})
+	return p
+}

@@ -20,16 +20,40 @@ import (
 	"dice/internal/workloads"
 )
 
+// cliFlags holds every dicetrace flag; registerFlags is the one place
+// they are declared, shared by main and the flag-docs pin test.
+type cliFlags struct {
+	workload *string
+	samples  *int
+	dump     *int
+	scale    *uint
+	save     *string
+	n        *int
+}
+
+// registerFlags declares the dicetrace flags on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		workload: fs.String("workload", "gcc", "workload name"),
+		samples:  fs.Int("samples", 4000, "lines sampled for compressibility"),
+		dump:     fs.Int("dump", 0, "dump the first N trace requests"),
+		scale:    fs.Uint("scale", 10, "system scale shift"),
+		save:     fs.String("save", "", "save the first -n requests to a binary trace file"),
+		n:        fs.Int("n", 200000, "requests captured with -save"),
+	}
+}
+
 func main() {
-	var (
-		workload = flag.String("workload", "gcc", "workload name")
-		samples  = flag.Int("samples", 4000, "lines sampled for compressibility")
-		dump     = flag.Int("dump", 0, "dump the first N trace requests")
-		scale    = flag.Uint("scale", 10, "system scale shift")
-		save     = flag.String("save", "", "save the first -n requests to a binary trace file")
-		n        = flag.Int("n", 200000, "requests captured with -save")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		workload = o.workload
+		samples  = o.samples
+		dump     = o.dump
+		scale    = o.scale
+		save     = o.save
+		n        = o.n
+	)
 
 	w, err := workloads.ByName(*workload)
 	if err != nil {

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"dice/internal/clidoc"
+)
+
+var updateFlagDocs = flag.Bool("update", false, "rewrite the README flag table from the live registrations")
+
+// TestFlagDocsCurrent pins README's perfbench flag table to the live flag
+// registrations: the table is generated from registerFlags, so a flag
+// added, renamed, or re-defaulted without regenerating the docs fails
+// here. Run with -update to regenerate.
+func TestFlagDocsCurrent(t *testing.T) {
+	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
+	registerFlags(fs)
+	if *updateFlagDocs {
+		if err := clidoc.Update("../../README.md", "perfbench", fs); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err := clidoc.Verify("../../README.md", "perfbench", fs); err != nil {
+		t.Fatalf("%v\n(regenerate with: go test ./cmd/perfbench -run FlagDocsCurrent -update)", err)
+	}
+}

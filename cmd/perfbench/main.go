@@ -58,12 +58,28 @@ type Run struct {
 	Entries map[string]Entry `json:"entries"`
 }
 
+// cliFlags holds every perfbench flag; registerFlags is the one place
+// they are declared, shared by main and the flag-docs pin test.
+type cliFlags struct {
+	out   *string
+	label *string
+}
+
+// registerFlags declares the perfbench flags on fs.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		out:   fs.String("out", "", "merge results into this JSON file (empty = print only)"),
+		label: fs.String("label", "run", "label to record the results under in -out"),
+	}
+}
+
 func main() {
-	var (
-		out   = flag.String("out", "", "merge results into this JSON file (empty = print only)")
-		label = flag.String("label", "run", "label to record the results under in -out")
-	)
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+	var (
+		out   = o.out
+		label = o.label
+	)
 
 	entries := map[string]Entry{}
 	for _, b := range benches() {

@@ -1,0 +1,95 @@
+// Package clidoc keeps the README's CLI flag tables honest: it
+// renders a command's flag.FlagSet as a markdown table, splices it
+// between per-command HTML comment markers in a document, and — the
+// part wired into every command's tests — verifies the document still
+// matches the live registrations, so a flag added, renamed, or
+// re-defaulted without a doc update fails `go test` instead of
+// rotting silently. Each cmd registers its flags through one
+// registerFlags function shared by main and its TestFlagDocsCurrent.
+package clidoc
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Table renders every flag of fs as a markdown table, one row per
+// flag in lexical order (flag.VisitAll order), pipes in usage strings
+// escaped. Defaults render in backticks; an empty default renders as
+// an empty cell.
+func Table(fs *flag.FlagSet) string {
+	var b strings.Builder
+	b.WriteString("| Flag | Default | Purpose |\n|---|---|---|\n")
+	fs.VisitAll(func(f *flag.Flag) {
+		def := ""
+		if f.DefValue != "" {
+			def = "`" + f.DefValue + "`"
+		}
+		fmt.Fprintf(&b, "| `-%s` | %s | %s |\n", f.Name, def, escape(f.Usage))
+	})
+	return b.String()
+}
+
+// escape neutralizes markdown table syntax inside a usage string.
+func escape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}
+
+// markers returns the begin/end comment markers delimiting name's
+// table in a document.
+func markers(name string) (string, string) {
+	return "<!-- flagdocs:" + name + " -->", "<!-- /flagdocs:" + name + " -->"
+}
+
+// splice replaces the block between name's markers in doc with table,
+// keeping the markers. The document must contain exactly one
+// begin/end pair, begin before end.
+func splice(doc, name, table string) (string, error) {
+	begin, end := markers(name)
+	bi := strings.Index(doc, begin)
+	ei := strings.Index(doc, end)
+	if bi < 0 || ei < 0 || ei < bi {
+		return "", fmt.Errorf("clidoc: document has no %q/%q marker pair", begin, end)
+	}
+	if strings.Index(doc[bi+len(begin):], begin) >= 0 {
+		return "", fmt.Errorf("clidoc: document has duplicate %q markers", begin)
+	}
+	return doc[:bi+len(begin)] + "\n" + table + doc[ei:], nil
+}
+
+// Verify checks that the document at path holds exactly Table(fs)
+// between name's markers, returning a descriptive error when the
+// table has drifted from the live flag registrations.
+func Verify(path, name string, fs *flag.FlagSet) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("clidoc: %w", err)
+	}
+	want, err := splice(string(doc), name, Table(fs))
+	if err != nil {
+		return err
+	}
+	if string(doc) != want {
+		return fmt.Errorf("clidoc: %s: the %s flag table has drifted from the flag registrations", path, name)
+	}
+	return nil
+}
+
+// Update rewrites name's table in the document at path from the live
+// registrations (the -update path of each TestFlagDocsCurrent).
+func Update(path, name string, fs *flag.FlagSet) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("clidoc: %w", err)
+	}
+	out, err := splice(string(doc), name, Table(fs))
+	if err != nil {
+		return err
+	}
+	if out == string(doc) {
+		return nil
+	}
+	return os.WriteFile(path, []byte(out), 0o644)
+}

@@ -1,0 +1,50 @@
+package dcache
+
+import "fmt"
+
+// ParsePolicy maps a policy name — the same strings Policy.String
+// emits and the CLIs accept ("base", "tsi", "nsi", "bai", "dice",
+// "scc") — back to its Policy value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "base":
+		return PolicyUncompressed, nil
+	case "tsi":
+		return PolicyTSI, nil
+	case "nsi":
+		return PolicyNSI, nil
+	case "bai":
+		return PolicyBAI, nil
+	case "dice":
+		return PolicyDICE, nil
+	case "scc":
+		return PolicySCC, nil
+	default:
+		return 0, fmt.Errorf("dcache: unknown policy %q (want base, tsi, nsi, bai, dice or scc)", s)
+	}
+}
+
+// String names the organization.
+func (o Org) String() string {
+	switch o {
+	case OrgAlloy:
+		return "alloy"
+	case OrgKNL:
+		return "knl"
+	default:
+		return fmt.Sprintf("org(%d)", uint8(o))
+	}
+}
+
+// ParseOrg maps a tag-organization name ("alloy" or "knl"; "" means
+// alloy) back to its Org value.
+func ParseOrg(s string) (Org, error) {
+	switch s {
+	case "", "alloy":
+		return OrgAlloy, nil
+	case "knl":
+		return OrgKNL, nil
+	default:
+		return 0, fmt.Errorf("dcache: unknown org %q (want alloy or knl)", s)
+	}
+}

@@ -1,0 +1,149 @@
+package dse
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dice/internal/serve"
+)
+
+func testResult(key string, energy float64) serve.CellResult {
+	return serve.CellResult{
+		Key:      key,
+		Workload: "gcc",
+		IPC:      []float64{0.5, 0.25},
+		Cycles:   1000,
+		Energy:   energy,
+		EDP:      energy * 2,
+	}
+}
+
+// Appended cells replay intact across a close/reopen, duplicates
+// first-wins.
+func TestResultLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.results")
+	l, rep, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 0 || len(rep.Results) != 0 {
+		t.Fatalf("fresh log replayed %+v", rep)
+	}
+	for i, key := range []string{"w=a", "w=b", "w=a"} { // w=a delivered twice
+		if err := l.Append(testResult(key, float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep2, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rep2.Cells != 3 || len(rep2.Results) != 2 || rep2.TruncatedBytes != 0 {
+		t.Fatalf("replay = %d lines, %d cells, %d truncated", rep2.Cells, len(rep2.Results), rep2.TruncatedBytes)
+	}
+	if rep2.Results["w=a"].Energy != 1 {
+		t.Fatalf("duplicate delivery did not replay first-wins: %+v", rep2.Results["w=a"])
+	}
+}
+
+// The torn-tail contract, mirroring the daemon journal's: a log cut
+// mid-line (SIGKILL during an append) replays its valid prefix,
+// truncates the torn bytes, and appends cleanly afterwards.
+func TestResultLogTornTailTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.results")
+	l, _, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"w=a", "w=b"} {
+		if err := l.Append(testResult(key, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the file mid-record: a valid prefix plus half an append.
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append([]byte{}, whole...)
+	torn = append(torn, []byte("deadbeef {\"key\":\"w=c\"")...) // no newline, bogus CRC
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.TruncatedBytes == 0 {
+		t.Fatalf("torn replay: %d cells, %d truncated bytes", len(rep.Results), rep.TruncatedBytes)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != int64(len(whole)) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", fi.Size(), len(whole))
+	}
+	// Appending after truncation lands on a clean boundary.
+	if err := l2.Append(testResult("w=c", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep3, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep3.Results) != 3 || rep3.TruncatedBytes != 0 {
+		t.Fatalf("post-truncation replay: %d cells, %d truncated", len(rep3.Results), rep3.TruncatedBytes)
+	}
+}
+
+// A corrupted byte mid-file cuts replay at the corruption (longest
+// valid prefix), never poisons earlier records.
+func TestResultLogCorruptMiddle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.results")
+	l, _, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"w=a", "w=b", "w=c"} {
+		if err := l.Append(testResult(key, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip one payload byte of the second record.
+	mut := []byte(lines[1])
+	mut[len(mut)/2] ^= 0xff
+	corrupted := lines[0] + string(mut) + lines[2]
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rep, err := OpenResultLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results["w=a"].Key != "w=a" {
+		t.Fatalf("corrupt-middle replay kept %d cells, want just the prefix", len(rep.Results))
+	}
+	if rep.TruncatedBytes == 0 {
+		t.Fatal("corruption not reported as truncation")
+	}
+}

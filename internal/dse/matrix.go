@@ -1,0 +1,131 @@
+package dse
+
+import (
+	"fmt"
+
+	"dice/internal/serve"
+)
+
+// MaxCells bounds the expanded matrix. A product past this is almost
+// always a spec mistake (axes multiply fast), and every cell costs a
+// simulation — erroring at expansion keeps the mistake cheap.
+const MaxCells = 1 << 20
+
+// Expand crosses every axis into the cell matrix: nested loops in a
+// fixed canonical order (workload outermost, then policy, org,
+// threshold, compress, ber, fault-seed, fault-policy, capacity, bw,
+// latency, prefetch, mlp, scale — the order the axes are documented
+// in, independent of spec line order), deduplicated by canonical key,
+// then augmented with every distinct baseline cell the Pareto
+// normalization needs that the spec did not already request. The
+// result's order is deterministic, so two expansions of the same spec
+// are identical element-for-element.
+func (s *Spec) Expand() ([]serve.CellSpec, error) {
+	if s.Refs <= 0 {
+		return nil, fmt.Errorf("dse: spec refs must be positive, got %d", s.Refs)
+	}
+	// An absent axis contributes its single zero value, keeping the
+	// cross product total and the loop structure uniform.
+	policies := orDefault(s.Policies, "")
+	orgs := orDefault(s.Orgs, "")
+	thresholds := orDefault(s.Thresholds, 0)
+	compress := orDefault(s.Compress, "")
+	bers := orDefault(s.BERs, 0)
+	seeds := orDefault(s.FaultSeeds, 0)
+	fpols := orDefault(s.FaultPolicies, "")
+	caps := orDefault(s.Capacities, 0)
+	bws := orDefault(s.BWs, 0)
+	lats := orDefault(s.HalfLats, false)
+	pfs := orDefault(s.Prefetches, "")
+	mlps := orDefault(s.MLPs, 0)
+	scales := orDefault(s.Scales, 0)
+
+	var cells []serve.CellSpec
+	seen := map[string]bool{}
+	add := func(c serve.CellSpec) error {
+		key := c.Key()
+		if seen[key] {
+			return nil
+		}
+		if len(cells) >= MaxCells {
+			return fmt.Errorf("dse: sweep expands past %d cells; split the spec", MaxCells)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("dse: cell %s: %w", key, err)
+		}
+		seen[key] = true
+		cells = append(cells, c)
+		return nil
+	}
+	for _, w := range s.Workloads {
+		for _, pol := range policies {
+			for _, org := range orgs {
+				for _, th := range thresholds {
+					for _, alg := range compress {
+						for _, ber := range bers {
+							for _, seed := range seeds {
+								for _, fp := range fpols {
+									for _, capm := range caps {
+										for _, bw := range bws {
+											for _, half := range lats {
+												for _, pf := range pfs {
+													for _, mlp := range mlps {
+														for _, sc := range scales {
+															err := add(serve.CellSpec{
+																Workload:    w,
+																Policy:      pol,
+																Org:         org,
+																Threshold:   th,
+																Compress:    alg,
+																BER:         ber,
+																FaultSeed:   seed,
+																FaultPolicy: fp,
+																Capacity:    capm,
+																BW:          bw,
+																HalfLat:     half,
+																Prefetch:    pf,
+																MLP:         mlp,
+																Refs:        s.Refs,
+																Scale:       sc,
+															})
+															if err != nil {
+																return nil, err
+															}
+														}
+													}
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Baseline augmentation: appended after the requested cells, in
+	// first-need order, so the requested matrix keeps its positions.
+	for _, c := range cells {
+		if len(cells) >= MaxCells {
+			break
+		}
+		b := c.Baseline()
+		if !seen[b.Key()] {
+			if err := add(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cells, nil
+}
+
+// orDefault returns vals, or a one-element slice of def when the axis
+// was not declared.
+func orDefault[T any](vals []T, def T) []T {
+	if len(vals) == 0 {
+		return []T{def}
+	}
+	return vals
+}

@@ -1,0 +1,155 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+)
+
+// Parser rejection paths, table-driven: each bad spec must fail with
+// an error naming the offending line or rule, never expand to a
+// surprising matrix.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"no workload axis", "policy = dice\n", "no workload axis"},
+		{"unknown key", "workload = gcc\nsets = 4\n", "unknown key"},
+		{"duplicate key", "workload = gcc\npolicy = dice\npolicy = base\n", "already assigned on line 2"},
+		{"empty values", "workload = gcc\npolicy =\n", "lists no values"},
+		{"bad line", "workload = gcc\njust some words\n", "want \"key = values\""},
+		{"unknown workload", "workload = nosuch\n", "nosuch"},
+		{"unknown policy", "workload = gcc\npolicy = lru\n", "unknown policy"},
+		{"unknown org", "workload = gcc\norg = sectored\n", "unknown org"},
+		{"unknown compress", "workload = gcc\ncompress = lz4\n", "unknown compress"},
+		{"ber out of range", "workload = gcc\nber = 2\n", "rate in [0,1]"},
+		{"ber not a number", "workload = gcc\nber = lots\n", "rate in [0,1]"},
+		{"bad latency", "workload = gcc\nlatency = quarter\n", "full or half"},
+		{"bad prefetch", "workload = gcc\nprefetch = stride\n", "prefetch"},
+		{"bad fault policy", "workload = gcc\nfault-policy = parity\n", "policy"},
+		{"zero refs", "workload = gcc\nrefs = 0\n", "positive integer"},
+		{"multi-value refs", "workload = gcc\nrefs = 100 200\n", "takes one value"},
+		{"negative threshold", "workload = gcc\nthreshold = -1\n", "integer >= 0"},
+		{"zero capacity", "workload = gcc\ncapacity = 0\n", "integer >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.spec))
+			if err == nil {
+				t.Fatalf("spec accepted:\n%s", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Values split on commas and/or whitespace, comments strip to end of
+// line, and scalars land in their fields.
+func TestParseGrammar(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`
+# a comment line
+name = smoke
+refs = 150            # trailing comment
+workload = gcc,mcf libq   # mixed separators
+policy = base dice
+ber = 0, 1e-5
+latency = full half
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "smoke" || spec.Refs != 150 {
+		t.Fatalf("scalars: name=%q refs=%d", spec.Name, spec.Refs)
+	}
+	if got := strings.Join(spec.Workloads, " "); got != "gcc mcf libq" {
+		t.Fatalf("workloads = %q", got)
+	}
+	if len(spec.Policies) != 2 || len(spec.BERs) != 2 || len(spec.HalfLats) != 2 {
+		t.Fatalf("axes: %+v", spec)
+	}
+}
+
+// Suite keywords expand to their catalogs, deduplicated first-wins
+// against explicitly named workloads.
+func TestParseSuiteKeywords(t *testing.T) {
+	spec, err := Parse(strings.NewReader("workload = pr_twi gap\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Workloads) != 6 {
+		t.Fatalf("gap suite with one overlap expanded to %d workloads: %v",
+			len(spec.Workloads), spec.Workloads)
+	}
+	if spec.Workloads[0] != "pr_twi" {
+		t.Fatalf("explicit name lost its first-seen position: %v", spec.Workloads)
+	}
+}
+
+// A parsed spec defaults refs so keys are always explicit.
+func TestParseDefaultRefs(t *testing.T) {
+	spec, err := Parse(strings.NewReader("workload = gcc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Refs != DefaultRefs {
+		t.Fatalf("refs defaulted to %d, want %d", spec.Refs, DefaultRefs)
+	}
+}
+
+// Expansion crosses the axes, deduplicates repeated values by
+// canonical key, and auto-appends exactly the missing baselines.
+func TestExpand(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`
+refs = 150
+workload = gcc mcf
+policy = dice dice tsi    # repeated value must not inflate the matrix
+ber = 0 1e-5
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 workloads x 2 distinct policies x 2 BERs = 8 requested cells,
+	// plus one base-policy baseline per workload = 10.
+	if len(cells) != 10 {
+		t.Fatalf("expanded to %d cells, want 10", len(cells))
+	}
+	seen := map[string]bool{}
+	baselines := 0
+	for _, c := range cells {
+		key := c.Key()
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if c.Refs != 150 {
+			t.Fatalf("cell %s lost the spec's refs", key)
+		}
+		if c.IsBaseline() {
+			baselines++
+		}
+	}
+	if baselines != 2 {
+		t.Fatalf("%d baseline cells, want 2", baselines)
+	}
+	for _, c := range cells {
+		if !seen[c.Baseline().Key()] {
+			t.Fatalf("cell %s has no baseline in the matrix", c.Key())
+		}
+	}
+
+	// Expansion is deterministic element-for-element.
+	again, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatalf("expansion not deterministic at %d", i)
+		}
+	}
+}

@@ -38,6 +38,9 @@ func ablateIndexCells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "nsi", "bai", "dice"}, ablationWorkloads())
 }
 
+// AblationIndexing is the indexing ablation (beyond the paper):
+// naive set-indexing (NSI) versus BAI versus full DICE, isolating
+// how much of the win is index choice rather than compression.
 func AblationIndexing(r *Runner) *Report {
 	r.Prefetch(ablateIndexCells(r)...)
 	rep := &Report{ID: "ablate-index", Title: "Indexing ablation: NSI vs BAI vs DICE",

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The EXPERIMENTS.md experiment catalog must list exactly the IDs
+// experiments.All() registers, in catalog order — an experiment
+// cannot be added, renamed or removed without the document noticing.
+func TestExperimentCatalogDocCurrent(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const begin, end = "<!-- experiment-catalog -->", "<!-- /experiment-catalog -->"
+	body := string(doc)
+	i, j := strings.Index(body, begin), strings.Index(body, end)
+	if i < 0 || j < i {
+		t.Fatalf("EXPERIMENTS.md is missing the %s markers", begin)
+	}
+	idCell := regexp.MustCompile("^\\| `([a-z0-9-]+)` \\|")
+	var documented []string
+	for _, line := range strings.Split(body[i+len(begin):j], "\n") {
+		if m := idCell.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			documented = append(documented, m[1])
+		}
+	}
+	var registered []string
+	for _, e := range All() {
+		registered = append(registered, e.ID)
+	}
+	if got, want := strings.Join(documented, " "), strings.Join(registered, " "); got != want {
+		t.Fatalf("EXPERIMENTS.md catalog has drifted from experiments.All():\n documented: %s\n registered: %s", got, want)
+	}
+}

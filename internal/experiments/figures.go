@@ -101,6 +101,9 @@ func fig07Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "tsi", "bai", "base-2cap", "base-2both"}, workloads.All26())
 }
 
+// Fig07StaticIndexing regenerates Figure 7: speedup of the TSI and
+// BAI static-indexing schemes over the uncompressed Alloy baseline,
+// bracketed by the doubled-capacity/doubled-both idealizations.
 func Fig07StaticIndexing(r *Runner) *Report {
 	r.Prefetch(fig07Cells(r)...)
 	rep := &Report{ID: "fig7", Title: "Speedup of TSI and BAI static indexing",
@@ -124,6 +127,9 @@ func fig10Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "tsi", "bai", "dice", "base-2both"}, workloads.All26())
 }
 
+// Fig10DICE regenerates Figure 10, the paper's headline result:
+// DICE's dynamic index selection against TSI and BAI, with the
+// doubled-capacity-and-bandwidth ideal as the upper bracket.
 func Fig10DICE(r *Runner) *Report {
 	r.Prefetch(fig10Cells(r)...)
 	rep := &Report{ID: "fig10", Title: "DICE speedup vs static indexing",
@@ -149,6 +155,8 @@ func fig11Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"dice"}, workloads.All26())
 }
 
+// Fig11IndexDistribution regenerates Figure 11: the fraction of L4
+// installs DICE steers to BAI versus TSI indexing per workload.
 func Fig11IndexDistribution(r *Runner) *Report {
 	r.Prefetch(fig11Cells(r)...)
 	rep := &Report{ID: "fig11", Title: "Distribution of BAI and TSI indices under DICE",
@@ -189,6 +197,8 @@ func fig12Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "dice-knl", "dice"}, workloads.All26())
 }
 
+// Fig12KNL regenerates Figure 12: DICE applied to the KNL-style
+// direct-mapped tag organization versus the Alloy organization.
 func Fig12KNL(r *Runner) *Report {
 	r.Prefetch(fig12Cells(r)...)
 	rep := &Report{ID: "fig12", Title: "DICE on the KNL DRAM-cache organization",
@@ -210,6 +220,8 @@ func fig13Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "dice"}, workloads.LowMPKI13())
 }
 
+// Fig13NonIntensive regenerates Figure 13: DICE on the 13 low-MPKI
+// (non-memory-intensive) workloads, where it must do no harm.
 func Fig13NonIntensive(r *Runner) *Report {
 	r.Prefetch(fig13Cells(r)...)
 	rep := &Report{ID: "fig13", Title: "DICE on non-memory-intensive workloads",
@@ -234,6 +246,9 @@ func fig14Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "tsi", "bai", "dice"}, workloads.All26())
 }
 
+// Fig14Energy regenerates Figure 14: memory-system power,
+// performance, energy and EDP of TSI/BAI/DICE, normalized to the
+// uncompressed baseline.
 func Fig14Energy(r *Runner) *Report {
 	r.Prefetch(fig14Cells(r)...)
 	rep := &Report{ID: "fig14", Title: "Power, performance, energy, EDP (normalized)",
@@ -262,6 +277,8 @@ func fig15Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "scc", "dice"}, workloads.All26())
 }
 
+// Fig15SCC regenerates Figure 15: the SCC compressed-cache design
+// retargeted to a DRAM cache, versus DICE.
 func Fig15SCC(r *Runner) *Report {
 	r.Prefetch(fig15Cells(r)...)
 	rep := &Report{ID: "fig15", Title: "SCC on DRAM cache vs DICE",

@@ -18,9 +18,12 @@ import (
 // Cell is one (configuration, workload) simulation in an experiment's
 // matrix, memoized under Key (see Runner.RunConfig for the key scheme).
 type Cell struct {
+	// Key is the memoization key: cells sharing it simulate once.
 	Key string
+	// Cfg is the simulator configuration to run.
 	Cfg sim.Config
-	W   workloads.Workload
+	// W is the workload to drive it with.
+	W workloads.Workload
 }
 
 // namedCells builds the matrix of named configurations × workloads.
@@ -52,6 +55,47 @@ func (r *Runner) PrefetchCtx(ctx context.Context, cells ...Cell) {
 	parallel.ForEachCtx(ctx, r.Workers, len(cells), func(i int) {
 		r.RunConfig(cells[i].Key, cells[i].Cfg, cells[i].W)
 	})
+}
+
+// ForEachCellCtx simulates every cell across the worker pool and
+// invokes done(i, result) as each cell i completes — the hook the
+// sweep engine uses to checkpoint results the moment they exist
+// instead of after the whole matrix. done may be nil; when non-nil it
+// is called from worker goroutines (possibly concurrently) and must
+// be safe for concurrent use. Duplicate keys simulate once; each
+// duplicate still gets its own done call. Returns ctx.Err() if the
+// fan-out was cut short.
+func (r *Runner) ForEachCellCtx(ctx context.Context, cells []Cell, done func(i int, res sim.Result)) error {
+	r.warmArtifacts(ctx, cells)
+	parallel.ForEachCtx(ctx, r.Workers, len(cells), func(i int) {
+		res := r.RunConfig(cells[i].Key, cells[i].Cfg, cells[i].W)
+		if done != nil {
+			done(i, res)
+		}
+	})
+	return ctx.Err()
+}
+
+// Peek returns the memoized result for key without simulating: ok is
+// false when the key was never requested or its simulation has not
+// finished. It never blocks, so collection loops can skim a partially
+// cancelled fan-out for the cells that did complete.
+func (r *Runner) Peek(key string) (res sim.Result, ok bool) {
+	r.mu.Lock()
+	f := r.cache[key]
+	r.mu.Unlock()
+	if f == nil {
+		return sim.Result{}, false
+	}
+	select {
+	case <-f.done:
+		if f.panicked != nil {
+			return sim.Result{}, false
+		}
+		return f.res, true
+	default:
+		return sim.Result{}, false
+	}
 }
 
 // warmCell is one distinct (workload, scale) build a prefetch pays for

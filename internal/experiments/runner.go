@@ -46,8 +46,10 @@ type Runner struct {
 	// named configuration this runner launches (sim.Config fields of the
 	// same names). Zero BER leaves injection off; the fault-sweep
 	// experiment instead mints per-BER configs itself.
-	FaultBER    float64
-	FaultSeed   uint64
+	FaultBER float64
+	// FaultSeed pins the deterministic fault stream (see FaultBER).
+	FaultSeed uint64
+	// FaultPolicy selects the recovery policy (see FaultBER).
 	FaultPolicy string
 
 	// MetricsEpoch, when nonzero, attaches an epoch-metrics recorder
@@ -298,18 +300,25 @@ func (r *Runner) Speedup(cfgName string, w workloads.Workload) float64 {
 
 // Report is one regenerated table or figure.
 type Report struct {
-	ID      string
-	Title   string
-	Columns []string // value columns, in print order
-	Rows    []Row
+	// ID is the experiment's catalog identifier (fig10, table4, ...).
+	ID string
+	// Title is the human-readable heading the renderers print.
+	Title string
+	// Columns lists the value columns, in print order.
+	Columns []string
+	// Rows holds the result lines, in print order.
+	Rows []Row
 	// Notes carries the paper-vs-measured commentary.
 	Notes []string
 }
 
 // Row is one labeled result line.
 type Row struct {
-	Name   string
-	Suite  workloads.Suite
+	// Name labels the row (usually a workload or config name).
+	Name string
+	// Suite is the workload suite the row belongs to.
+	Suite workloads.Suite
+	// Values maps column name to the measured value.
 	Values map[string]float64
 }
 
@@ -398,9 +407,13 @@ func (rep *Report) String() string {
 // submit every cell to the worker pool before any report is assembled;
 // experiments that run no simulations (fig4) leave it nil.
 type Experiment struct {
-	ID    string
+	// ID is the catalog identifier (-run selector in cmd/dicebench).
+	ID string
+	// Title is the one-line description shown in listings.
 	Title string
-	Run   func(*Runner) *Report
+	// Run assembles the experiment's report (simulations memoized).
+	Run func(*Runner) *Report
+	// Cells enumerates the simulation matrix for up-front prefetch.
 	Cells func(*Runner) []Cell
 }
 

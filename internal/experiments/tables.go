@@ -57,6 +57,8 @@ func table04Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "dice-t32", "dice", "dice-t40"}, workloads.All26())
 }
 
+// Table04Threshold regenerates Table 4: DICE's sensitivity to the
+// BAI-insertion threshold (32/36/40 bytes).
 func Table04Threshold(r *Runner) *Report {
 	r.Prefetch(table04Cells(r)...)
 	rep := &Report{ID: "table4", Title: "Sensitivity to DICE insertion threshold",
@@ -82,6 +84,8 @@ func table05Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "tsi", "bai", "dice"}, workloads.All26())
 }
 
+// Table05Capacity regenerates Table 5: average effective L4 capacity
+// under TSI, BAI and DICE.
 func Table05Capacity(r *Runner) *Report {
 	r.Prefetch(table05Cells(r)...)
 	rep := &Report{ID: "table5", Title: "Effective capacity of TSI/BAI/DICE",
@@ -111,6 +115,8 @@ func table06Cells(r *Runner) []Cell {
 	return r.namedCells([]string{"base", "dice"}, workloads.All26())
 }
 
+// Table06L3HitRate regenerates Table 6: DICE's effect on the L3 hit
+// rate (compression perturbs hot-line residency).
 func Table06L3HitRate(r *Runner) *Report {
 	r.Prefetch(table06Cells(r)...)
 	rep := &Report{ID: "table6", Title: "Effect of DICE on L3 hit rate",
@@ -136,6 +142,8 @@ func table07Cells(r *Runner) []Cell {
 		workloads.All26())
 }
 
+// Table07Prefetch regenerates Table 7: DICE against next-line and
+// wide-128B prefetching, separately and combined.
 func Table07Prefetch(r *Runner) *Report {
 	r.Prefetch(table07Cells(r)...)
 	rep := &Report{ID: "table7", Title: "Comparison of DICE to prefetch",
@@ -164,6 +172,8 @@ func table08Cells(r *Runner) []Cell {
 		"base-2bw", "dice-2bw", "base-half", "dice-half"}, workloads.All26())
 }
 
+// Table08Sensitivity regenerates Table 8: DICE's speedup holding
+// under doubled capacity, doubled bandwidth and halved latency.
 func Table08Sensitivity(r *Runner) *Report {
 	r.Prefetch(table08Cells(r)...)
 	rep := &Report{ID: "table8", Title: "DICE sensitivity to cache capacity/BW/latency",

@@ -25,6 +25,7 @@ import (
 
 	"dice/internal/experiments"
 	"dice/internal/sim"
+	"dice/internal/workloads"
 )
 
 // JobState is the lifecycle state of a job. Terminal states are
@@ -53,14 +54,23 @@ func (s JobState) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// JobSpec is the client-supplied description of one experiment job:
-// which experiments to regenerate and under what runner settings. The
-// zero value of every field defers to the daemon's defaults, so
-// {"experiments":["fig10"]} is a complete spec.
+// JobSpec is the client-supplied description of one job: either a
+// named-experiment job (Experiments set — regenerate paper tables) or
+// a batch cell job (Cells set — simulate raw sweep cells for the
+// design-space-exploration engine). The zero value of every other
+// field defers to the daemon's defaults, so
+// {"experiments":["fig10"]} and {"cells":[{"workload":"gcc"}]} are
+// complete specs. Exactly one of Experiments and Cells must be set.
 type JobSpec struct {
 	// Experiments lists experiment IDs (see experiments.All), or the
 	// single element "all" for the full evaluation.
-	Experiments []string `json:"experiments"`
+	Experiments []string `json:"experiments,omitempty"`
+	// Cells, when non-empty, makes this a batch cell job: the daemon
+	// simulates every cell (memoized and fanned out like an
+	// experiment's matrix) and the job's Output is one JSON line per
+	// cell, in spec order (EncodeCellResults). Bounded by
+	// MaxCellsPerJob; sweeps submit multiple jobs.
+	Cells []CellSpec `json:"cells,omitempty"`
 	// Refs is the measured references per core (0 = daemon default).
 	Refs int `json:"refs,omitempty"`
 	// Scale is the system scale shift (0 = default 10).
@@ -87,10 +97,22 @@ type JobSpec struct {
 // is the one place a bad spec can be turned into a 400 instead of a
 // failed job.
 func (s JobSpec) Validate() error {
-	if len(s.Experiments) == 0 {
-		return fmt.Errorf("serve: job spec lists no experiments")
+	if len(s.Experiments) == 0 && len(s.Cells) == 0 {
+		return fmt.Errorf("serve: job spec lists no experiments and no cells")
 	}
-	if len(s.Experiments) != 1 || s.Experiments[0] != "all" {
+	if len(s.Experiments) > 0 && len(s.Cells) > 0 {
+		return fmt.Errorf("serve: job spec lists both experiments and cells (want one)")
+	}
+	if len(s.Cells) > MaxCellsPerJob {
+		return fmt.Errorf("serve: job spec: %d cells exceed the per-job bound %d",
+			len(s.Cells), MaxCellsPerJob)
+	}
+	for i, c := range s.Cells {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("serve: job spec: cell %d (%s): %w", i, c.Key(), err)
+		}
+	}
+	if len(s.Experiments) > 0 && (len(s.Experiments) != 1 || s.Experiments[0] != "all") {
 		for _, id := range s.Experiments {
 			if _, err := experiments.ByID(id); err != nil {
 				return fmt.Errorf("serve: job spec: %w", err)
@@ -167,11 +189,13 @@ type JobStatus struct {
 
 // RunSpec executes one job spec to completion and returns the report
 // bytes. This is the daemon's executor and also the reference the
-// tests compare against: a fresh Runner per job, reports rendered in
-// selection order, each followed by a blank line — exactly the table
-// bytes `dicebench -run ...` prints. Deterministic at any Workers
-// setting. Cancellation and deadlines arrive via ctx; a cancelled run
-// returns the partial output alongside ctx's error.
+// tests compare against: a fresh Runner per job. Experiment jobs
+// render reports in selection order, each followed by a blank line —
+// exactly the table bytes `dicebench -run ...` prints. Batch cell
+// jobs emit one JSON line per cell in spec order (EncodeCellResults).
+// Deterministic at any Workers setting. Cancellation and deadlines
+// arrive via ctx; a cancelled run returns the partial output
+// alongside ctx's error.
 func RunSpec(ctx context.Context, spec JobSpec, defaultRefs int) (string, error) {
 	refs := spec.Refs
 	if refs == 0 {
@@ -184,11 +208,50 @@ func RunSpec(ctx context.Context, spec JobSpec, defaultRefs int) (string, error)
 	r.FaultSeed = spec.FaultSeed
 	r.FaultPolicy = spec.FaultPolicy
 
+	if len(spec.Cells) > 0 {
+		return runCells(ctx, r, spec.Cells, refs)
+	}
+
 	reports, err := experiments.RunAllCtx(ctx, r, spec.selected())
 	var b strings.Builder
 	for _, rep := range reports {
 		b.WriteString(rep.String())
 		b.WriteByte('\n')
+	}
+	return b.String(), err
+}
+
+// runCells executes a batch cell job: fan the cells out across the
+// runner's pool (memoized, so duplicate keys simulate once), then
+// encode each cell's metrics snapshot in spec order. When ctx is
+// cancelled mid-batch the completed prefix still encodes — a
+// re-submitted batch re-runs only because the daemon journals no
+// finish record, and determinism makes the re-run byte-identical.
+func runCells(ctx context.Context, r *experiments.Runner, specs []CellSpec, defaultRefs int) (string, error) {
+	cells := make([]experiments.Cell, len(specs))
+	for i, cs := range specs {
+		cfg, err := cs.Config(defaultRefs)
+		if err != nil {
+			return "", fmt.Errorf("serve: cell %d: %w", i, err)
+		}
+		w, err := workloads.ByName(cs.Workload)
+		if err != nil {
+			return "", fmt.Errorf("serve: cell %d: %w", i, err)
+		}
+		cells[i] = experiments.Cell{Key: cs.Key(), Cfg: cfg, W: w}
+	}
+	err := r.ForEachCellCtx(ctx, cells, nil)
+	results := make([]CellResult, 0, len(cells))
+	for i := range cells {
+		res, ok := r.Peek(cells[i].Key)
+		if !ok {
+			continue // skipped by cancellation; later cells may still have run
+		}
+		results = append(results, CellResultFrom(cells[i].Key, res))
+	}
+	var b strings.Builder
+	if eerr := EncodeCellResults(&b, results); eerr != nil {
+		return "", eerr
 	}
 	return b.String(), err
 }

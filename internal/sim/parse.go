@@ -1,0 +1,32 @@
+package sim
+
+import "fmt"
+
+// String names the prefetch mode.
+func (p PrefetchMode) String() string {
+	switch p {
+	case PrefetchNone:
+		return "none"
+	case PrefetchNextLine:
+		return "nextline"
+	case PrefetchWide128:
+		return "wide128"
+	default:
+		return fmt.Sprintf("prefetch(%d)", uint8(p))
+	}
+}
+
+// ParsePrefetchMode maps a prefetch-mode name ("none", "nextline" or
+// "wide128"; "" means none) back to its PrefetchMode value.
+func ParsePrefetchMode(s string) (PrefetchMode, error) {
+	switch s {
+	case "", "none":
+		return PrefetchNone, nil
+	case "nextline":
+		return PrefetchNextLine, nil
+	case "wide128":
+		return PrefetchWide128, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown prefetch mode %q (want none, nextline or wide128)", s)
+	}
+}
