@@ -46,15 +46,17 @@ fuzz:
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks, then
 # records the per-layer hot-path numbers (ns/ref, allocs/ref, refs/sec)
-# into BENCH_pr6.json under the "pr6" label. BENCH_pr6.json also
-# carries the earlier labels (baseline through pr5) so the trajectory
-# reads from one file; the simcore/{event,cycle} pair is the
-# discrete-event scheduler's dispatch comparison and the
-# matrix/gap8-{cold,warm} pair the artifact cache's headline
-# warm-vs-cold wall-clock ratio.
+# into BENCH_pr9.json under the "pr9" label — including the
+# daemon/submit entry, a latency distribution (mean plus p50/p99/p999
+# tail quantiles) over the job-submission path against an in-process
+# daemon. The simcore/{event,cycle} pair is the discrete-event
+# scheduler's dispatch comparison, the matrix/gap8-{cold,warm} pair the
+# artifact cache's headline warm-vs-cold wall-clock ratio, and the
+# "pr9-sweep" label in the same file is sweep-smoke's cells/hour
+# record.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/perfbench -label pr6 -out BENCH_pr6.json
+	$(GO) run ./cmd/perfbench -label pr9 -out BENCH_pr9.json
 
 # Short benchmark smoke pass for CI: a few iterations of every per-layer
 # benchmark, just enough to catch a benchmark that no longer compiles or
@@ -71,29 +73,41 @@ bench-smoke:
 	$(GO) test -run='^TestArtifactCacheSmoke$$' -count=1 -v ./internal/experiments
 	DICE_SMOKE=1 $(GO) test -run='^TestEventCoreSmokeSpeedup$$' -count=1 -v ./internal/sim
 	$(GO) test -run='^TestGoldenReports$$' -count=1 ./internal/experiments
+	$(GO) test -run='^TestSubmitLatencyEntry$$' -count=1 -v ./cmd/perfbench
 
 # Daemon load/soak proof under the race detector: 200 concurrent
 # submissions through the retrying client against a queue bounded at
 # 32 (so backpressure 429s are exercised and absorbed), every job's
 # output byte-compared against a serial reference, zero goroutine
-# leaks after shutdown. DICE_SMOKE=1 raises the soak from its quick
-# tier-1 size to the full 200-job version.
+# leaks after shutdown, and the per-submission latency histogram
+# (p50/p90/p99/p999 through the retrying client, backpressure retries
+# included) logged. DICE_SMOKE=1 raises the soak from its quick tier-1
+# size to the full 200-job version.
 soak:
 	DICE_SMOKE=1 $(GO) test -race -run='^TestSoakConcurrentSubmissions$$' -count=1 -v ./internal/serve
 
 # Daemon smoke: build the real dicebenchd binary and drive it as an
 # operator would — HTTP submit/poll/healthz, SIGTERM clean drain,
-# restart-with-journal replay, and the SIGKILL crash/restart
-# byte-equality check.
+# restart-with-journal replay, the SIGKILL crash/restart byte-equality
+# check, and the streaming bar: cells and epoch metrics over
+# GET /jobs/{id}/stream byte-equal to the terminal output, plus a
+# SIGKILL landing mid-stream that the same Stream call rides through
+# (reconnect at offset, new-generation re-delivery, exactly-once after
+# dedup).
 daemon-smoke:
 	$(GO) test -run='^TestDaemon' -count=1 -v ./cmd/dicebenchd
 
 # Sweep smoke: build the real dicesweep and dicebenchd binaries and
 # run the DSE acceptance bar end to end — a three-axis spec expanding
 # to 320 cells through the local pool at workers 8 and workers 1 AND
-# sharded over a live daemon, frontier exports byte-compared across
-# all three, plus the SIGINT-mid-sweep / -resume round trip. Records
-# the headline cells/hour number to BENCH_pr8.json.
+# sharded over a live daemon four ways (streamed partial results and
+# -poll-only, each at workers 8 and 1), frontier exports byte-compared
+# across all of them, with the streamed epoch-metrics NDJSON checked
+# for well-formedness; plus the SIGINT-mid-sweep / -resume round trip
+# and a daemon SIGKILLed mid-stream and restarted on the same port
+# (the sweep rides through with no duplicate cells in its results
+# log). Records the headline cells/hour number to BENCH_pr9.json under
+# the "pr9-sweep" label.
 sweep-smoke:
 	DICE_SMOKE=1 $(GO) test -run='^TestSweepSmoke' -count=1 -v ./cmd/dicesweep
 

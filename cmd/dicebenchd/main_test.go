@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -288,4 +289,211 @@ func TestDaemonRejectsBadFlags(t *testing.T) {
 	if !strings.Contains(string(out), "queue-cap") {
 		t.Fatalf("unhelpful error: %s", out)
 	}
+}
+
+// cellSmokeSpec is a small cell-matrix job for the streaming smokes:
+// four cells heavy enough that completion is staggered, with epoch
+// metrics enabled so the stream carries all three event kinds.
+func cellSmokeSpec(refs int) serve.JobSpec {
+	return serve.JobSpec{
+		Cells: []serve.CellSpec{
+			{Workload: "gcc", Policy: "dice", Refs: refs, Scale: 12},
+			{Workload: "gcc", Policy: "tsi", Refs: refs, Scale: 12},
+			{Workload: "mcf", Policy: "dice", Refs: refs, Scale: 12},
+			{Workload: "mcf", Policy: "tsi", Refs: refs, Scale: 12},
+		},
+		Workers:      1,
+		MetricsEpoch: 5000,
+	}
+}
+
+// The streaming wire end to end through the real binary: cells and
+// epoch snapshots arrive over GET /jobs/{id}/stream while the job
+// runs, the done event closes the stream, and the streamed cells are
+// byte-identical to the terminal status's output.
+func TestDaemonStreamLiveParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short mode")
+	}
+	p := startDaemon(t, "-journal", filepath.Join(t.TempDir(), "stream.journal"), "-q")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := p.client(5)
+
+	spec := cellSmokeSpec(2000)
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, p.output())
+	}
+	var (
+		streamed []serve.CellResult
+		epochs   int
+	)
+	final, err := c.Stream(ctx, st.ID, func(ev serve.StreamEvent) error {
+		switch ev.Kind {
+		case serve.StreamCell:
+			streamed = append(streamed, *ev.Cell)
+		case serve.StreamEpoch:
+			epochs++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("stream: %v\n%s", err, p.output())
+	}
+	if final.State != serve.StateDone {
+		t.Fatalf("stream ended %s (%s)", final.State, final.Error)
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch snapshots streamed")
+	}
+
+	fin, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serve.DecodeCellResults(strings.NewReader(fin.Output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(want) {
+		t.Fatalf("streamed %d cells, output holds %d", len(streamed), len(want))
+	}
+	for i := range want {
+		if fmt.Sprintf("%+v", streamed[i]) != fmt.Sprintf("%+v", want[i]) {
+			t.Fatalf("cell %d diverges between stream and output:\n stream %+v\n output %+v", i, streamed[i], want[i])
+		}
+	}
+	t.Logf("daemon-smoke: %d cells and %d epochs streamed live", len(streamed), epochs)
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	p.waitExit(t, 45*time.Second)
+}
+
+// The crash bar for streams: SIGKILL the daemon while a client is
+// mid-stream with cells already delivered, restart it on the same
+// port and journal, and the same Stream call — never re-issued — must
+// ride through the outage, absorb the new generation's re-delivery,
+// and finish with every cell delivered exactly once after dedup.
+func TestDaemonStreamSIGKILLRestartResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke skipped in -short mode")
+	}
+	journal := filepath.Join(t.TempDir(), "streamcrash.journal")
+	addr := freeDaemonAddr(t)
+	p := startDaemon(t, "-addr", addr, "-journal", journal, "-q")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c := p.client(6)
+
+	// Heavy enough that the kill lands with cells still running.
+	spec := cellSmokeSpec(60_000)
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v\n%s", err, p.output())
+	}
+
+	firstCell := make(chan struct{})
+	var once sync.Once
+	var mu sync.Mutex
+	delivered := map[string][]string{} // key -> rendered payloads, dups included
+	gens := map[string]bool{}
+	type streamEnd struct {
+		final serve.StreamEvent
+		err   error
+	}
+	ended := make(chan streamEnd, 1)
+	go func() {
+		final, err := c.Stream(ctx, st.ID, func(ev serve.StreamEvent) error {
+			mu.Lock()
+			defer mu.Unlock()
+			gens[ev.Gen] = true
+			if ev.Kind == serve.StreamCell {
+				delivered[ev.Cell.Key] = append(delivered[ev.Cell.Key], fmt.Sprintf("%+v", *ev.Cell))
+				once.Do(func() { close(firstCell) })
+			}
+			return nil
+		})
+		ended <- streamEnd{final, err}
+	}()
+
+	// Kill once the stream has demonstrably delivered a cell, with the
+	// rest of the job still running.
+	select {
+	case <-firstCell:
+	case e := <-ended:
+		t.Fatalf("stream ended before the kill could land (%v %+v); raise the spec's refs\n%s", e.err, e.final, p.output())
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("no cell ever streamed\n%s", p.output())
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-p.done
+
+	// Restart at the same address on the same journal; the unfinished
+	// job replays under a fresh generation.
+	p2 := startDaemon(t, "-addr", addr, "-journal", journal, "-q")
+	e := <-ended
+	if e.err != nil {
+		t.Fatalf("stream did not survive the restart: %v\n%s", e.err, p2.output())
+	}
+	if e.final.State != serve.StateDone {
+		t.Fatalf("stream ended %s (%s)", e.final.State, e.final.Error)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gens) < 2 {
+		t.Fatalf("stream saw %d generations, want >= 2 (restart not exercised)", len(gens))
+	}
+	// Every cell delivered; re-deliveries are byte-identical, so a
+	// consumer deduplicating on the canonical key loses nothing.
+	if len(delivered) != len(spec.Cells) {
+		t.Fatalf("stream delivered %d distinct cells, want %d", len(delivered), len(spec.Cells))
+	}
+	for key, payloads := range delivered {
+		for _, pay := range payloads[1:] {
+			if pay != payloads[0] {
+				t.Fatalf("cell %s re-delivered with different bytes", key)
+			}
+		}
+	}
+
+	// The terminal output agrees with the stream, each cell exactly once.
+	fin, err := p2.client(7).Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serve.DecodeCellResults(strings.NewReader(fin.Output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(spec.Cells) {
+		t.Fatalf("final output holds %d cells, want %d", len(want), len(spec.Cells))
+	}
+	for _, w := range want {
+		payloads := delivered[w.Key]
+		if len(payloads) == 0 {
+			t.Fatalf("cell %s in output but never streamed", w.Key)
+		}
+		if payloads[0] != fmt.Sprintf("%+v", w) {
+			t.Fatalf("cell %s diverges between stream and final output", w.Key)
+		}
+	}
+	p2.cmd.Process.Signal(syscall.SIGTERM)
+	p2.waitExit(t, 45*time.Second)
+}
+
+// freeDaemonAddr picks a free localhost TCP address by binding and
+// releasing it, so a killed daemon can be restarted at the same base
+// URL its client is retrying.
+func freeDaemonAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
 }

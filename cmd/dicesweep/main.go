@@ -26,9 +26,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +49,9 @@ type cliFlags struct {
 	batch         *int
 	shardDeadline *time.Duration
 	poll          *time.Duration
+	pollOnly      *bool
+	metricsEpoch  *uint64
+	metricsOut    *string
 	out           *string
 	dryRun        *bool
 	benchOut      *string
@@ -64,6 +69,9 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 		batch:         fs.Int("batch", 0, "cells per daemon job (0 = 256)"),
 		shardDeadline: fs.Duration("shard-deadline", 0, "per-job deadline daemons enforce (0 = none)"),
 		poll:          fs.Duration("poll", 100*time.Millisecond, "job-status poll interval for daemon sharding"),
+		pollOnly:      fs.Bool("poll-only", false, "disable result streaming for daemon sharding; poll jobs to terminal state (frontier bytes identical either way)"),
+		metricsEpoch:  fs.Uint64("metrics-epoch", 0, "emit per-epoch metric snapshots every N simulated cycles (0 = off; requires -metrics-out)"),
+		metricsOut:    fs.String("metrics-out", "", "append streamed epoch snapshots to this NDJSON file (requires -metrics-epoch)"),
 		out:           fs.String("out", "frontier", "frontier export path prefix (writes <out>.csv and <out>.json)"),
 		dryRun:        fs.Bool("dry-run", false, "expand the spec, print the cell census, and exit without simulating"),
 		benchOut:      fs.String("bench-out", "", "write a cells/hour benchmark record to this JSON file"),
@@ -131,6 +139,19 @@ func run(opts *cliFlags) error {
 		Batch:         *opts.batch,
 		ShardDeadline: *opts.shardDeadline,
 		Poll:          *opts.poll,
+		PollOnly:      *opts.pollOnly,
+	}
+	if (*opts.metricsEpoch > 0) != (*opts.metricsOut != "") {
+		return fmt.Errorf("dicesweep: -metrics-epoch and -metrics-out must be set together")
+	}
+	var metrics *metricsSink
+	if *opts.metricsOut != "" {
+		if metrics, err = openMetricsSink(*opts.metricsOut); err != nil {
+			return err
+		}
+		defer metrics.Close()
+		runOpts.MetricsEpoch = *opts.metricsEpoch
+		runOpts.EpochSink = metrics.Emit
 	}
 	if *opts.daemons != "" {
 		for _, d := range strings.Split(*opts.daemons, ",") {
@@ -159,6 +180,12 @@ func run(opts *cliFlags) error {
 		if err := writeBench(*opts.benchOut, ran, elapsed, runOpts); err != nil {
 			return err
 		}
+	}
+	if metrics != nil {
+		if err := metrics.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("dicesweep: %d epoch snapshots appended to %s\n", metrics.Count(), *opts.metricsOut)
 	}
 	if runErr != nil {
 		return fmt.Errorf("dicesweep: %w", runErr)
@@ -206,15 +233,47 @@ func writeFrontier(prefix string, points []dse.Point) error {
 	return err
 }
 
-// writeBench records the sweep's throughput — the PR's headline
-// cells/hour metric — as a small JSON file CI archives.
+// writeBench records the sweep's throughput — the headline cells/hour
+// metric — into the JSON benchmark file under the "pr9-sweep" label,
+// preserving every other label already there (cmd/perfbench records
+// its per-layer entries into the same file under "pr9").
 func writeBench(path string, ran int, elapsed time.Duration, opt dse.Options) error {
 	cph := 0.0
 	if s := elapsed.Seconds(); s > 0 {
 		cph = float64(ran) / s * 3600
 	}
-	payload := fmt.Sprintf(
-		"{\n  \"label\": \"pr8\",\n  \"cells\": %d,\n  \"seconds\": %.3f,\n  \"cells_per_hour\": %.1f,\n  \"workers\": %d,\n  \"daemons\": %d\n}\n",
-		ran, elapsed.Seconds(), cph, opt.Workers, len(opt.Daemons))
-	return os.WriteFile(path, []byte(payload), 0o644)
+	all := map[string]json.RawMessage{}
+	if b, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(b, &all); err != nil {
+			return fmt.Errorf("dicesweep: %s exists but is not a label map: %v", path, err)
+		}
+	}
+	all["pr9-sweep"] = json.RawMessage(fmt.Sprintf(
+		`{"cells": %d, "seconds": %.3f, "cells_per_hour": %.1f, "workers": %d, "daemons": %d}`,
+		ran, elapsed.Seconds(), cph, opt.Workers, len(opt.Daemons)))
+	keys := make([]string, 0, len(all))
+	for k := range all {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Stable key order and indentation for reviewable diffs.
+	var buf []byte
+	buf = append(buf, '{', '\n')
+	for i, k := range keys {
+		pretty, err := json.MarshalIndent(all[k], "  ", "  ")
+		if err != nil {
+			return err
+		}
+		kb, _ := json.Marshal(k)
+		buf = append(buf, ' ', ' ')
+		buf = append(buf, kb...)
+		buf = append(buf, ':', ' ')
+		buf = append(buf, pretty...)
+		if i < len(keys)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, '}', '\n')
+	return os.WriteFile(path, buf, 0o644)
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -94,8 +96,11 @@ func readFile(t *testing.T, path string) []byte {
 }
 
 // TestSweepSmokeLocalDaemonParity is the headline acceptance run:
-// local workers 8 vs workers 1 vs daemon-sharded, all three frontier
-// exports byte-identical, cells/hour recorded to BENCH_pr8.json.
+// local workers 8 vs workers 1 vs daemon-sharded — the latter both
+// streaming (the default) and -poll-only, at workers 1 and 8 — all
+// frontier exports byte-identical, cells/hour recorded to
+// BENCH_pr9.json, and the streamed epoch-metrics NDJSON non-empty and
+// well-formed.
 func TestSweepSmokeLocalDaemonParity(t *testing.T) {
 	if os.Getenv("DICE_SMOKE") == "" {
 		t.Skip("set DICE_SMOKE=1 (make sweep-smoke) to run the sweep acceptance smoke")
@@ -105,7 +110,7 @@ func TestSweepSmokeLocalDaemonParity(t *testing.T) {
 	if err := os.WriteFile(specPath, []byte(sweepSmoke), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	benchPath, err := filepath.Abs("../../BENCH_pr8.json")
+	benchPath, err := filepath.Abs("../../BENCH_pr9.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,19 +140,171 @@ func TestSweepSmokeLocalDaemonParity(t *testing.T) {
 		}
 	}
 
-	// Shard the same matrix over a live dicebenchd subprocess.
+	// Shard the same matrix over a live dicebenchd subprocess — four
+	// ways: streaming (the default) and -poll-only, each at workers 8
+	// and workers 1. All four frontiers must match the local bytes;
+	// streaming changes when cells checkpoint, never what they contain.
 	d := startBenchd(t, "-journal", filepath.Join(dir, "d.journal"), "-q")
-	runSweep(t, true,
-		"-spec", specPath, "-log", filepath.Join(dir, "ld.results"),
-		"-out", filepath.Join(dir, "fd"),
-		"-daemons", "http://"+d.addr, "-batch", "64", "-poll", "10ms")
-	for _, ext := range []string{".csv", ".json"} {
-		local := readFile(t, filepath.Join(dir, "f8"+ext))
-		shard := readFile(t, filepath.Join(dir, "fd"+ext))
-		if string(local) != string(shard) {
-			t.Fatalf("frontier%s diverges between local and daemon-sharded runs", ext)
+	metricsPath := filepath.Join(dir, "epochs.ndjson")
+	shardRuns := []struct {
+		name string
+		args []string
+	}{
+		{"fd8", []string{"-workers", "8", "-metrics-epoch", "500", "-metrics-out", metricsPath}},
+		{"fp8", []string{"-workers", "8", "-poll-only"}},
+		{"fd1", []string{"-workers", "1"}},
+		{"fp1", []string{"-workers", "1", "-poll-only"}},
+	}
+	for _, sr := range shardRuns {
+		runSweep(t, true, append([]string{
+			"-spec", specPath, "-log", filepath.Join(dir, sr.name+".results"),
+			"-out", filepath.Join(dir, sr.name),
+			"-daemons", "http://" + d.addr, "-batch", "64", "-poll", "10ms",
+		}, sr.args...)...)
+		for _, ext := range []string{".csv", ".json"} {
+			local := readFile(t, filepath.Join(dir, "f8"+ext))
+			shard := readFile(t, filepath.Join(dir, sr.name+ext))
+			if string(local) != string(shard) {
+				t.Fatalf("frontier%s diverges between local and daemon-sharded run %s", ext, sr.name)
+			}
 		}
 	}
+
+	// The streamed epoch metrics landed as parseable NDJSON.
+	lines := strings.Split(strings.TrimRight(string(readFile(t, metricsPath)), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no epoch snapshots streamed to -metrics-out")
+	}
+	for i, ln := range lines {
+		var ep struct {
+			Key  string          `json:"key"`
+			Snap json.RawMessage `json:"snap"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ep); err != nil || ep.Key == "" || len(ep.Snap) == 0 {
+			t.Fatalf("metrics line %d malformed (%v): %s", i, err, ln)
+		}
+	}
+	t.Logf("sweep-smoke: %d epoch snapshots streamed", len(lines))
+}
+
+// TestSweepSmokeStreamSurvivesDaemonKill SIGKILLs the daemon while a
+// streaming sweep is mid-flight — cells already checkpointed, the job
+// stream open — then restarts it on the same port with the same
+// journal. The sweep's reconnect loop must ride through the outage,
+// absorb the new generation's re-delivery without duplicating cells in
+// the results log, and finish with frontier bytes identical to a local
+// run.
+func TestSweepSmokeStreamSurvivesDaemonKill(t *testing.T) {
+	if os.Getenv("DICE_SMOKE") == "" {
+		t.Skip("set DICE_SMOKE=1 (make sweep-smoke) to run the sweep acceptance smoke")
+	}
+	dir := t.TempDir()
+	// A heavier budget over a 32-cell matrix so the kill reliably lands
+	// while batches are still streaming.
+	spec := "name = stream-kill\nrefs = 5000\nworkload = rate\npolicy = base dice\n"
+	specPath := filepath.Join(dir, "kill.sweep")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "ls.results")
+	journal := filepath.Join(dir, "d.journal")
+
+	// A fixed port so the restarted daemon is reachable at the same
+	// base URL the sweep is retrying.
+	addr := freeAddr(t)
+	d1 := startBenchd(t, "-addr", addr, "-journal", journal, "-q")
+
+	sweep, _ := binaries(t)
+	cmd := exec.Command(sweep,
+		"-spec", specPath, "-log", logPath, "-out", filepath.Join(dir, "fs"),
+		"-daemons", "http://"+addr, "-batch", "8", "-workers", "2", "-poll", "10ms")
+	var outBuf strings.Builder
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &outBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sweepDone := make(chan error, 1)
+	go func() { sweepDone <- cmd.Wait() }()
+
+	// Wait until streamed cells are hitting the results log — proof the
+	// stream is live — then kill the daemon without ceremony.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if fi, err := os.Stat(logPath); err == nil && fi.Size() > 0 {
+			break
+		}
+		select {
+		case err := <-sweepDone:
+			t.Fatalf("sweep exited before streaming began: %v\n%s", err, outBuf.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no streamed cell ever reached the results log\n%s", outBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	d1.cmd.Process.Kill()
+	<-d1.done
+
+	// Restart on the same port with the same journal; unfinished jobs
+	// replay under a fresh generation and re-deliver.
+	startBenchd(t, "-addr", addr, "-journal", journal, "-q")
+
+	if err := <-sweepDone; err != nil {
+		t.Fatalf("sweep did not survive the daemon kill: %v\n%s", err, outBuf.String())
+	}
+
+	// Exactly-once checkpointing: 32 distinct cells, no duplicates,
+	// despite the new generation re-streaming delivered cells.
+	keys := map[string]int{}
+	for _, ln := range strings.Split(strings.TrimRight(string(readFile(t, logPath)), "\n"), "\n") {
+		var cell struct {
+			Key string `json:"key"`
+		}
+		payload := ln
+		if i := strings.IndexByte(ln, ' '); i >= 0 {
+			payload = ln[i+1:] // strip the CRC frame prefix
+		}
+		if err := json.Unmarshal([]byte(payload), &cell); err != nil || cell.Key == "" {
+			t.Fatalf("results-log line malformed (%v): %s", err, ln)
+		}
+		keys[cell.Key]++
+	}
+	if len(keys) != 32 {
+		t.Fatalf("results log holds %d distinct cells, want 32", len(keys))
+	}
+	for k, n := range keys {
+		if n != 1 {
+			t.Fatalf("cell %s checkpointed %d times (restart re-delivery not deduplicated)", k, n)
+		}
+	}
+
+	// And the survived sweep's frontier matches an uninterrupted local run.
+	runSweep(t, true,
+		"-spec", specPath, "-log", filepath.Join(dir, "lref.results"),
+		"-out", filepath.Join(dir, "fref"), "-workers", "4")
+	for _, ext := range []string{".csv", ".json"} {
+		got := readFile(t, filepath.Join(dir, "fs"+ext))
+		want := readFile(t, filepath.Join(dir, "fref"+ext))
+		if string(got) != string(want) {
+			t.Fatalf("frontier%s diverges after daemon kill/restart", ext)
+		}
+	}
+}
+
+// freeAddr picks a free localhost TCP address by binding and releasing
+// it — the daemon restart needs a port known in advance.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
 }
 
 // TestSweepSmokeKillResume interrupts a serial sweep mid-run with

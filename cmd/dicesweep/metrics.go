@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+
+	"dice/internal/obs"
+)
+
+// metricsSink appends streamed epoch snapshots to an NDJSON file: one
+// {"key": ..., "snap": {...}} object per line, in arrival order. The
+// sink is the sweep's -metrics-out target; it is called from worker
+// goroutines concurrently, so every append holds the mutex. Epoch
+// delivery is best-effort telemetry (see dse.Options.EpochSink): a
+// daemon restart mid-batch may duplicate or drop lines, so consumers
+// must treat the file as a sample stream, not an exact record.
+type metricsSink struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	count  int
+	closed bool
+	err    error
+}
+
+// epochLine is the NDJSON shape of one streamed snapshot.
+type epochLine struct {
+	Key  string       `json:"key"`
+	Snap obs.Snapshot `json:"snap"`
+}
+
+// openMetricsSink creates (or truncates) the NDJSON file at path.
+func openMetricsSink(path string) (*metricsSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &metricsSink{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Emit appends one snapshot line. Write errors are remembered and
+// surfaced by Close — an epoch sink failure must not abort the sweep.
+func (m *metricsSink) Emit(key string, s obs.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.err != nil {
+		return
+	}
+	b, err := json.Marshal(epochLine{Key: key, Snap: s})
+	if err != nil {
+		m.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := m.w.Write(b); err != nil {
+		m.err = err
+		return
+	}
+	m.count++
+}
+
+// Count returns how many lines were appended.
+func (m *metricsSink) Count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Close flushes and closes the file, returning the first error the
+// sink hit. Idempotent: later calls return the same result.
+func (m *metricsSink) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err
+	}
+	m.closed = true
+	if ferr := m.w.Flush(); m.err == nil {
+		m.err = ferr
+	}
+	if cerr := m.f.Close(); m.err == nil {
+		m.err = cerr
+	}
+	return m.err
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dice/internal/obs"
+	"dice/internal/serve"
+	"dice/internal/serve/client"
+)
+
+// submitSamples is the distribution size for the daemon/submit latency
+// entry: enough samples that p99 is a real rank (the 507th of 512) and
+// p999 is the max, cheap enough that the whole measurement is a few
+// seconds.
+const submitSamples = 512
+
+// measureSubmitLatency measures the daemon's job-submission path —
+// HTTP POST through the retrying client, spec validation, journal
+// append, queue insert, response — as a latency distribution over n
+// sequential submissions against an in-process daemon on a real
+// socket. The queue is sized to hold every submission so no sample is
+// inflated by 429 backpressure retries; the jobs themselves are tiny
+// single-cell sims that drain during shutdown.
+func measureSubmitLatency(n int) (Entry, error) {
+	dir, err := os.MkdirTemp("", "perfbench-submit-*")
+	if err != nil {
+		return Entry{}, err
+	}
+	defer os.RemoveAll(dir)
+	d, _, err := serve.New(serve.Config{
+		JournalPath: filepath.Join(dir, "bench.journal"),
+		QueueCap:    n + 16,
+		JobWorkers:  2,
+	})
+	if err != nil {
+		return Entry{}, fmt.Errorf("perfbench: daemon: %w", err)
+	}
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		return Entry{}, fmt.Errorf("perfbench: daemon listen: %w", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		d.Shutdown(ctx)
+	}()
+
+	c := client.New("http://"+addr.String(), 1)
+	spec := serve.JobSpec{
+		Cells: []serve.CellSpec{{Workload: "gcc", Policy: "dice", Refs: 200, Scale: 10}},
+	}
+	var lat obs.Latencies
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		st, err := c.Submit(context.Background(), spec)
+		if err != nil {
+			return Entry{}, fmt.Errorf("perfbench: submit %d: %w", i, err)
+		}
+		lat.Observe(time.Since(t0))
+		ids = append(ids, st.ID)
+	}
+	// Cancel the still-queued tail so shutdown drains in bounded time;
+	// cells already run (or running) are tiny either way.
+	for _, id := range ids {
+		c.Cancel(context.Background(), id)
+	}
+
+	s := lat.Summary()
+	e := Entry{
+		NsPerRef:   float64(s.Mean.Nanoseconds()),
+		Iterations: s.Count,
+		P50Ns:      float64(s.P50.Nanoseconds()),
+		P99Ns:      float64(s.P99.Nanoseconds()),
+		P999Ns:     float64(s.P999.Nanoseconds()),
+	}
+	if e.NsPerRef > 0 {
+		e.RefsPerSec = 1e9 / e.NsPerRef
+	}
+	return e, nil
+}

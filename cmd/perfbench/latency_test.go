@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestSubmitLatencyEntry is the bench-smoke guard for the daemon/submit
+// latency axis: a reduced-sample measurement must produce a sane,
+// ordered distribution (0 < p50 <= p99 <= p999) — catching a broken
+// daemon path or quantile extraction without being a performance
+// assertion.
+func TestSubmitLatencyEntry(t *testing.T) {
+	e, err := measureSubmitLatency(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Iterations != 32 {
+		t.Fatalf("measured %d samples, want 32", e.Iterations)
+	}
+	if !(e.P50Ns > 0 && e.P50Ns <= e.P99Ns && e.P99Ns <= e.P999Ns) {
+		t.Fatalf("quantiles out of order: p50=%v p99=%v p999=%v", e.P50Ns, e.P99Ns, e.P999Ns)
+	}
+	if e.NsPerRef <= 0 || e.RefsPerSec <= 0 {
+		t.Fatalf("mean/rate not positive: %+v", e)
+	}
+}

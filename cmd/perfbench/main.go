@@ -43,12 +43,18 @@ import (
 )
 
 // Entry is one benchmark's recorded numbers, normalized per reference.
+// Latency-distribution entries (daemon/submit) additionally carry tail
+// quantiles: NsPerRef is then the mean per-operation latency and the
+// P*Ns fields the nearest-rank percentiles of the same distribution.
 type Entry struct {
 	NsPerRef     float64 `json:"ns_per_ref"`
 	AllocsPerRef float64 `json:"allocs_per_ref"`
 	BytesPerRef  float64 `json:"bytes_per_ref"`
 	RefsPerSec   float64 `json:"refs_per_sec"`
 	Iterations   int     `json:"iterations"`
+	P50Ns        float64 `json:"p50_ns,omitempty"`
+	P99Ns        float64 `json:"p99_ns,omitempty"`
+	P999Ns       float64 `json:"p999_ns,omitempty"`
 }
 
 // Run is one labeled perfbench invocation.
@@ -99,6 +105,15 @@ func main() {
 		fmt.Printf("%-24s %12.1f ns/ref %10.2f allocs/ref %12.0f refs/sec\n",
 			b.name, e.NsPerRef, e.AllocsPerRef, e.RefsPerSec)
 	}
+
+	sub, err := measureSubmitLatency(submitSamples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	entries["daemon/submit"] = sub
+	fmt.Printf("%-24s %12.1f ns/op  p50 %.0fns p99 %.0fns p999 %.0fns\n",
+		"daemon/submit", sub.NsPerRef, sub.P50Ns, sub.P99Ns, sub.P999Ns)
 
 	if *out == "" {
 		return

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dice/internal/experiments"
+	"dice/internal/obs"
 	"dice/internal/serve"
 	"dice/internal/serve/client"
 	"dice/internal/sim"
@@ -39,8 +40,28 @@ type Options struct {
 	// pending for -resume.
 	ShardDeadline time.Duration
 	// Poll is the job-status poll interval for daemon sharding
-	// (0 = 100ms).
+	// (0 = 100ms). With streaming (the default) it is only the
+	// fallback cadence; under PollOnly it is the primary mechanism.
 	Poll time.Duration
+	// PollOnly disables the streaming results path for daemon
+	// sharding: jobs are polled to terminal state and their output
+	// decoded in one piece, as before streaming existed. Frontier
+	// exports are byte-identical either way — streaming changes when
+	// cells checkpoint, not what they contain.
+	PollOnly bool
+	// MetricsEpoch, when nonzero, attaches an epoch-metrics recorder
+	// (every MetricsEpoch simulated cycles) to each cell's simulation
+	// and delivers every snapshot to EpochSink — over the job stream
+	// for daemon sharding, straight from the runner for in-process
+	// runs. Ignored when EpochSink is nil.
+	MetricsEpoch uint64
+	// EpochSink receives per-epoch metric snapshots as simulations
+	// run, tagged with the simulation's memoization key. Called from
+	// worker goroutines, possibly concurrently: must be safe for
+	// concurrent use. Delivery is best-effort telemetry: a daemon
+	// restart mid-batch may re-deliver or drop epochs (cells are the
+	// exactly-once layer, epochs are not).
+	EpochSink func(key string, s obs.Snapshot)
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -117,6 +138,10 @@ func runLocal(ctx context.Context, pending []serve.CellSpec, record func(serve.C
 	}
 	r := experiments.NewRunner(0)
 	r.Workers = opt.Workers
+	if opt.MetricsEpoch > 0 && opt.EpochSink != nil {
+		r.MetricsEpoch = opt.MetricsEpoch
+		r.MetricsEmit = opt.EpochSink
+	}
 	var recErr error
 	var recMu sync.Mutex
 	err := r.ForEachCellCtx(ctx, ecells, func(i int, res sim.Result) {
@@ -199,21 +224,72 @@ func runSharded(ctx context.Context, pending []serve.CellSpec, record func(serve
 	return nil
 }
 
-// runBatch runs one batch as one daemon job and checkpoints the
-// decoded results.
+// runBatch runs one batch as one daemon job and checkpoints its
+// results. The default path streams: cells are recorded — and hit the
+// results log — the moment the daemon emits them, long before the job
+// is terminal, and epoch snapshots flow to the sink as they happen.
+// Under PollOnly the batch is awaited to terminal state and decoded
+// in one piece. Both paths checkpoint identical bytes per cell; only
+// the checkpoint timing differs.
 func runBatch(ctx context.Context, c *client.Client, cells []serve.CellSpec, record func(serve.CellResult) error, poll time.Duration, opt Options) error {
 	spec := serve.JobSpec{
 		Cells:      cells,
 		Workers:    opt.Workers,
 		DeadlineMS: opt.ShardDeadline.Milliseconds(),
 	}
+	if opt.EpochSink != nil {
+		spec.MetricsEpoch = opt.MetricsEpoch
+	}
 	st, err := c.Submit(ctx, spec)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
-	st, err = c.Wait(ctx, st.ID, poll)
+	if opt.PollOnly {
+		return pollBatch(ctx, c, st.ID, cells, record, poll, opt)
+	}
+
+	// delivered dedups within this batch: a daemon restart mid-stream
+	// mints a new generation and re-delivers the cells the old one
+	// already sent (see serve's stream delivery contract). The sweep-
+	// wide record closure dedups again across batches; both layers key
+	// on the canonical cell key.
+	delivered := make(map[string]bool, len(cells))
+	final, err := c.Stream(ctx, st.ID, func(ev serve.StreamEvent) error {
+		switch ev.Kind {
+		case serve.StreamCell:
+			if ev.Cell == nil || delivered[ev.Cell.Key] {
+				return nil
+			}
+			delivered[ev.Cell.Key] = true
+			return record(*ev.Cell)
+		case serve.StreamEpoch:
+			if opt.EpochSink != nil && ev.Epoch != nil {
+				opt.EpochSink(ev.Epoch.Key, ev.Epoch.Snap)
+			}
+		}
+		return nil
+	})
 	if err != nil {
-		return fmt.Errorf("wait %s: %w", st.ID, err)
+		return fmt.Errorf("stream %s: %w", st.ID, err)
+	}
+	if final.State != serve.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, final.State, final.Error)
+	}
+	for _, cs := range cells {
+		if !delivered[cs.Key()] {
+			return fmt.Errorf("job %s stream omitted cell %s", st.ID, cs.Key())
+		}
+	}
+	opt.logf("sweep: batch of %d cells streamed from job %s", len(cells), st.ID)
+	return nil
+}
+
+// pollBatch is the pre-streaming consumption path: await terminal
+// state, decode the whole output, checkpoint.
+func pollBatch(ctx context.Context, c *client.Client, id string, cells []serve.CellSpec, record func(serve.CellResult) error, poll time.Duration, opt Options) error {
+	st, err := c.Wait(ctx, id, poll)
+	if err != nil {
+		return fmt.Errorf("wait %s: %w", id, err)
 	}
 	if st.State != serve.StateDone {
 		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)

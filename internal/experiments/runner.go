@@ -60,6 +60,15 @@ type Runner struct {
 	MetricsEpoch uint64
 	// MetricsCap bounds each recording's epoch ring (0 = obs.DefaultRingCap).
 	MetricsCap int
+	// MetricsEmit, when non-nil (and MetricsEpoch is set), receives
+	// every recorded epoch snapshot the moment it is recorded, tagged
+	// with the simulation's memoization key — the incremental-export
+	// hook behind the daemon's stream. Because memoization runs each
+	// key once, duplicate requests of a key emit its epochs once. The
+	// hook runs on simulation worker goroutines, possibly several
+	// concurrently for different keys: it must be safe for concurrent
+	// use and should not block.
+	MetricsEmit func(key string, s obs.Snapshot)
 
 	mu      sync.Mutex
 	cache   map[string]*flight
@@ -259,7 +268,11 @@ func (r *Runner) RunConfig(key string, cfg sim.Config, w workloads.Workload) sim
 	}()
 	var ob *obs.Observer
 	if r.MetricsEpoch > 0 {
-		ob = &obs.Observer{Rec: obs.NewRecorder(r.MetricsEpoch, r.MetricsCap)}
+		rec := obs.NewRecorder(r.MetricsEpoch, r.MetricsCap)
+		if r.MetricsEmit != nil {
+			rec.OnRecord = func(s obs.Snapshot) { r.MetricsEmit(key, s) }
+		}
+		ob = &obs.Observer{Rec: rec}
 	}
 	res, err := sim.RunObserved(cfg, w, ob)
 	if err != nil {

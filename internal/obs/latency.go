@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latencies is a simple latency sample set with tail-quantile
+// extraction — the p99/p999 axis for the daemon's submission path.
+// Observations are stored exactly (the sets here are thousands of
+// samples, not millions), so quantiles are exact nearest-rank values
+// rather than sketch approximations. Safe for concurrent use.
+type Latencies struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Observe records one sample.
+func (l *Latencies) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count returns how many samples have been observed.
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Quantile returns the nearest-rank q-quantile (0 < q <= 1) of the
+// samples observed so far, or 0 when empty. Quantile(0.5) is the
+// median; Quantile(1) the maximum.
+func (l *Latencies) Quantile(q float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return quantileLocked(l.sortedLocked(), q)
+}
+
+// LatencySummary is one snapshot of the distribution's headline
+// quantiles plus mean and count.
+type LatencySummary struct {
+	// Count is the number of samples summarized.
+	Count int `json:"count"`
+	// Mean is the arithmetic mean.
+	Mean time.Duration `json:"mean_ns"`
+	// P50 is the nearest-rank median.
+	P50 time.Duration `json:"p50_ns"`
+	// P90 is the nearest-rank 90th percentile.
+	P90 time.Duration `json:"p90_ns"`
+	// P99 is the nearest-rank 99th percentile.
+	P99 time.Duration `json:"p99_ns"`
+	// P999 is the nearest-rank 99.9th percentile.
+	P999 time.Duration `json:"p999_ns"`
+	// Max is the largest sample.
+	Max time.Duration `json:"max_ns"`
+}
+
+// String renders the summary as one human-readable line.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v p999=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.P999, s.Max)
+}
+
+// Summary snapshots the distribution. The zero value (no samples)
+// summarizes to all zeros.
+func (l *Latencies) Summary() LatencySummary {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	sorted := l.sortedLocked()
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	s := LatencySummary{
+		Count: len(sorted),
+		P50:   quantileLocked(sorted, 0.50),
+		P90:   quantileLocked(sorted, 0.90),
+		P99:   quantileLocked(sorted, 0.99),
+		P999:  quantileLocked(sorted, 0.999),
+	}
+	if len(sorted) > 0 {
+		s.Mean = sum / time.Duration(len(sorted))
+		s.Max = sorted[len(sorted)-1]
+	}
+	return s
+}
+
+// sortedLocked returns the samples in ascending order. Caller holds
+// l.mu; the sort happens in place (observation order is never needed).
+func (l *Latencies) sortedLocked() []time.Duration {
+	sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+	return l.samples
+}
+
+// quantileLocked is the nearest-rank quantile of an ascending-sorted
+// sample set: the ceil(q*n)-th smallest value.
+func quantileLocked(sorted []time.Duration, q float64) time.Duration {
+	n := len(sorted)
+	if n == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(float64(n) * q))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

@@ -119,6 +119,13 @@ type Recorder struct {
 	ring []Snapshot
 	head int
 	n    int
+
+	// OnRecord, when non-nil, observes every recorded snapshot (with
+	// Epoch/EndCycle/Cycles stamped) the moment Record runs — the hook
+	// behind incremental metric export. It fires for every epoch, even
+	// ones a full ring later drops, and runs on the simulation
+	// goroutine: keep it fast and non-blocking.
+	OnRecord func(Snapshot)
 }
 
 // NewRecorder returns a recorder sampling every epochCycles of
@@ -153,6 +160,9 @@ func (r *Recorder) Record(s Snapshot) {
 	s.Cycles = r.epoch
 	r.count++
 	r.next += r.epoch
+	if r.OnRecord != nil {
+		r.OnRecord(s)
+	}
 	if r.n == len(r.ring) {
 		r.ring[r.head] = s
 		r.head = (r.head + 1) % len(r.ring)

@@ -263,15 +263,26 @@ func apiError(payload []byte) string {
 	return string(payload)
 }
 
-// parseRetryAfter reads a Retry-After header given in seconds (the
-// only form the daemon emits); 0 when absent or unparseable.
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form:
+// delta-seconds (what the daemon emits) or an HTTP-date (what a
+// fronting proxy or load balancer may substitute). Dates in the past
+// and unparseable values yield 0.
 func parseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	// http.ParseTime accepts all three HTTP-date formats (RFC 5322,
+	// RFC 850, ANSI C asctime).
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

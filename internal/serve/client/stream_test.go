@@ -1,0 +1,231 @@
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dice/internal/serve"
+)
+
+// Retry-After must parse both RFC 9110 forms: delta-seconds and
+// HTTP-date (all three date formats), with past dates and garbage
+// degrading to 0 rather than poisoning the backoff.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		name string
+		v    string
+		min  time.Duration // inclusive
+		max  time.Duration // inclusive
+	}{
+		{"empty", "", 0, 0},
+		{"seconds", "5", 5 * time.Second, 5 * time.Second},
+		{"zero-seconds", "0", 0, 0},
+		{"negative-seconds", "-3", 0, 0},
+		{"garbage", "soon", 0, 0},
+		{"rfc1123-future", now.Add(30 * time.Second).UTC().Format(http.TimeFormat), time.Second, 30 * time.Second},
+		{"rfc850-future", now.Add(30 * time.Second).UTC().Format("Monday, 02-Jan-06 15:04:05 GMT"), time.Second, 30 * time.Second},
+		{"asctime-future", now.Add(30 * time.Second).UTC().Format(time.ANSIC), time.Second, 30 * time.Second},
+		{"rfc1123-past", now.Add(-30 * time.Second).UTC().Format(http.TimeFormat), 0, 0},
+		{"malformed-date", "Wed, 99 Foo 2020", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := parseRetryAfter(tc.v)
+			if got < tc.min || got > tc.max {
+				t.Fatalf("parseRetryAfter(%q) = %v, want in [%v, %v]", tc.v, got, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// frame renders one stream event exactly as the daemon does.
+func frame(t *testing.T, ev serve.StreamEvent) []byte {
+	t.Helper()
+	line, err := serve.EncodeStreamEvent(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
+}
+
+// cellEv builds a framed cell event.
+func cellEv(t *testing.T, gen string, off int, key string) []byte {
+	cr := serve.CellResult{Key: key}
+	return frame(t, serve.StreamEvent{Kind: serve.StreamCell, Gen: gen, Offset: off, Cell: &cr})
+}
+
+// doneEv builds a framed done event.
+func doneEv(t *testing.T, gen string, off int) []byte {
+	return frame(t, serve.StreamEvent{Kind: serve.StreamDone, Gen: gen, Offset: off, State: serve.StateDone})
+}
+
+// scriptedStream serves a scripted sequence of responses, one per
+// connection, and records each connection's offset/gen query.
+type scriptedStream struct {
+	mu    sync.Mutex
+	conns []string // "offset=N gen=G" per connection, in order
+	body  [][]byte // bytes to write per connection
+}
+
+func (s *scriptedStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.conns)
+	s.conns = append(s.conns, fmt.Sprintf("offset=%s gen=%s", r.URL.Query().Get("offset"), r.URL.Query().Get("gen")))
+	var body []byte
+	if n < len(s.body) {
+		body = s.body[n]
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Write(body)
+}
+
+func (s *scriptedStream) queries() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.conns...)
+}
+
+// A stream cut mid-flight — including a torn final frame — must
+// reconnect at the last consumed offset and deliver the remainder
+// exactly once.
+func TestStreamReconnectsAtOffsetAfterTornFrame(t *testing.T) {
+	var first []byte
+	first = append(first, cellEv(t, "gA", 0, "c0")...)
+	first = append(first, cellEv(t, "gA", 1, "c1")...)
+	first = append(first, cellEv(t, "gA", 2, "c2")...)
+	first = append(first, []byte("deadbeef {torn-mid-frame\n")...) // cut lands mid-append
+	var second []byte
+	second = append(second, cellEv(t, "gA", 3, "c3")...)
+	second = append(second, doneEv(t, "gA", 4)...)
+
+	s := &scriptedStream{body: [][]byte{first, second}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := newTestClient(ts)
+
+	var keys []string
+	final, err := c.Stream(t.Context(), "j1", func(ev serve.StreamEvent) error {
+		if ev.Kind == serve.StreamCell {
+			keys = append(keys, ev.Cell.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Kind != serve.StreamDone || final.State != serve.StateDone || final.Offset != 4 {
+		t.Fatalf("final = %+v", final)
+	}
+	if got, want := strings.Join(keys, ","), "c0,c1,c2,c3"; got != want {
+		t.Fatalf("cells = %s, want %s (no dups, no gaps)", got, want)
+	}
+	q := s.queries()
+	if len(q) != 2 || q[0] != "offset=0 gen=" || q[1] != "offset=3 gen=gA" {
+		t.Fatalf("connection queries = %v", q)
+	}
+}
+
+// A generation change (daemon restart) restarts the sequence: the
+// client adopts the new generation, re-consumes from 0, and the
+// caller sees re-delivered cells — dedup is the consumer's job.
+func TestStreamGenerationChangeRedelivers(t *testing.T) {
+	var first []byte
+	first = append(first, cellEv(t, "g1", 0, "c0")...)
+	first = append(first, cellEv(t, "g1", 1, "c1")...)
+	var second []byte
+	second = append(second, cellEv(t, "g2", 0, "c0")...)
+	second = append(second, cellEv(t, "g2", 1, "c1")...)
+	second = append(second, doneEv(t, "g2", 2)...)
+
+	s := &scriptedStream{body: [][]byte{first, second}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := newTestClient(ts)
+
+	var keys []string
+	final, err := c.Stream(t.Context(), "j1", func(ev serve.StreamEvent) error {
+		if ev.Kind == serve.StreamCell {
+			keys = append(keys, ev.Cell.Key)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Gen != "g2" {
+		t.Fatalf("final gen = %q, want g2", final.Gen)
+	}
+	if got, want := strings.Join(keys, ","), "c0,c1,c0,c1"; got != want {
+		t.Fatalf("cells = %s, want %s (redelivery on gen change)", got, want)
+	}
+	q := s.queries()
+	// The second connection asks to resume the old generation; the
+	// server answers with the new one and the client adapts.
+	if len(q) != 2 || q[1] != "offset=2 gen=g1" {
+		t.Fatalf("connection queries = %v", q)
+	}
+}
+
+// 404 is permanent: one attempt, no retries.
+func TestStreamPermanentOn404(t *testing.T) {
+	conns := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	if _, err := c.Stream(t.Context(), "nope", func(serve.StreamEvent) error { return nil }); err == nil {
+		t.Fatal("want error for 404 stream")
+	}
+	if conns != 1 {
+		t.Fatalf("404 retried: %d connections", conns)
+	}
+}
+
+// A server that keeps cutting the stream without progress exhausts
+// MaxAttempts and surfaces a giving-up error.
+func TestStreamGivesUpWithoutProgress(t *testing.T) {
+	conns := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conns++ // 200 with an empty body: a cut before any event
+	}))
+	defer ts.Close()
+	c := newTestClient(ts)
+	c.MaxAttempts = 3
+	_, err := c.Stream(t.Context(), "j1", func(serve.StreamEvent) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	if conns != 3 {
+		t.Fatalf("connections = %d, want 3", conns)
+	}
+}
+
+// An fn error aborts the stream permanently — no reconnect loop
+// around a consumer that cannot accept events.
+func TestStreamFnErrorAborts(t *testing.T) {
+	var body []byte
+	body = append(body, cellEv(t, "g", 0, "c0")...)
+	body = append(body, doneEv(t, "g", 1)...)
+	s := &scriptedStream{body: [][]byte{body, body, body}}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	c := newTestClient(ts)
+	_, err := c.Stream(t.Context(), "j1", func(ev serve.StreamEvent) error {
+		return fmt.Errorf("consumer rejected %s", ev.Kind)
+	})
+	if err == nil || !strings.Contains(err.Error(), "consumer rejected") {
+		t.Fatalf("err = %v, want consumer error", err)
+	}
+	if len(s.queries()) != 1 {
+		t.Fatalf("fn error retried: %v", s.queries())
+	}
+}

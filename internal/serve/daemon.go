@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -57,6 +59,31 @@ type Config struct {
 	// the status map — the journal still holds them — so a long-lived
 	// daemon's memory stays bounded by the cap, not by its history.
 	RetainOutputs int
+	// HTTPReadHeaderTimeout bounds how long a connection may take to
+	// send its request headers before being dropped (default 5s) —
+	// the slowloris defense.
+	HTTPReadHeaderTimeout time.Duration
+	// HTTPReadTimeout bounds reading one whole request, body included
+	// (default 1m; specs are capped at maxSpecBytes anyway).
+	HTTPReadTimeout time.Duration
+	// HTTPIdleTimeout bounds how long an idle keep-alive connection is
+	// kept open (default 2m).
+	HTTPIdleTimeout time.Duration
+	// HTTPWriteTimeout bounds writing one non-streaming response
+	// (default 1m). It is applied per request via ResponseController,
+	// NOT as http.Server.WriteTimeout — a server-wide write timeout
+	// would kill long-lived /stream responses.
+	HTTPWriteTimeout time.Duration
+	// StreamWriteTimeout bounds each individual write on a job stream
+	// (default 15s): a streaming client that stops reading is dropped
+	// — the job itself is unaffected and the client can reconnect at
+	// its last offset.
+	StreamWriteTimeout time.Duration
+	// StreamBufferCap bounds each job's in-memory stream event buffer
+	// (default 65536). Cell and done events always fit (cells are
+	// bounded by MaxCellsPerJob); epoch events beyond the cap are
+	// dropped — they are best-effort telemetry.
+	StreamBufferCap int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
 }
@@ -68,11 +95,18 @@ type Config struct {
 type Daemon struct {
 	cfg     Config
 	journal *Journal
-	execute func(ctx context.Context, spec JobSpec) (string, error)
+	execute func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error)
 
-	queue    chan *job
-	stopPick chan struct{}
-	workers  sync.WaitGroup
+	// gen is this process's stream generation token; replayGen is the
+	// stable token for synthesized streams of jobs that finished in an
+	// earlier process (see stream.go's delivery contract).
+	gen       string
+	replayGen string
+
+	queue       chan *job
+	stopPick    chan struct{}
+	stopStreams chan struct{}
+	workers     sync.WaitGroup
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -143,6 +177,24 @@ func New(cfg Config) (*Daemon, *Replay, error) {
 	if cfg.RetainOutputs <= 0 {
 		cfg.RetainOutputs = 256
 	}
+	if cfg.HTTPReadHeaderTimeout <= 0 {
+		cfg.HTTPReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.HTTPReadTimeout <= 0 {
+		cfg.HTTPReadTimeout = time.Minute
+	}
+	if cfg.HTTPIdleTimeout <= 0 {
+		cfg.HTTPIdleTimeout = 2 * time.Minute
+	}
+	if cfg.HTTPWriteTimeout <= 0 {
+		cfg.HTTPWriteTimeout = time.Minute
+	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 15 * time.Second
+	}
+	if cfg.StreamBufferCap <= 0 {
+		cfg.StreamBufferCap = 1 << 16
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -160,15 +212,18 @@ func New(cfg Config) (*Daemon, *Replay, error) {
 	}
 
 	d := &Daemon{
-		cfg:      cfg,
-		journal:  journal,
-		jobs:     make(map[string]*job),
-		stopPick: make(chan struct{}),
-		seq:      1,
-		start:    time.Now(),
+		cfg:         cfg,
+		journal:     journal,
+		jobs:        make(map[string]*job),
+		stopPick:    make(chan struct{}),
+		stopStreams: make(chan struct{}),
+		gen:         newGen(),
+		seq:         1,
+		start:       time.Now(),
 	}
-	d.execute = func(ctx context.Context, spec JobSpec) (string, error) {
-		return RunSpec(ctx, spec, d.cfg.DefaultRefs)
+	d.replayGen = d.gen + "-replay"
+	d.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
+		return RunSpecStream(ctx, spec, d.cfg.DefaultRefs, emit)
 	}
 
 	// The channel needs room for the admission bound plus whatever
@@ -214,10 +269,13 @@ func (d *Daemon) restore(rep *Replay) {
 			jb.status.State = rj.State
 			jb.status.Output = rj.Output
 			jb.status.Error = rj.Error
+			// No live stream buffer: streams of journal-finished jobs
+			// are synthesized from the status under d.replayGen.
 			d.retainLocked(jb)
 			continue
 		}
 		jb.status.State = StateQueued
+		jb.prog = newProgress(d.gen, d.cfg.StreamBufferCap)
 		d.depth++
 		if d.depth > d.maxDepth {
 			d.maxDepth = d.depth
@@ -258,6 +316,7 @@ func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
 	jb := &job{status: JobStatus{
 		ID: id, Seq: seq, State: StateQueued, Spec: spec, SubmittedAt: time.Now(),
 	}}
+	jb.prog = newProgress(d.gen, d.cfg.StreamBufferCap)
 	d.jobs[id] = jb
 	d.order = append(d.order, id)
 	d.stats.submitted++
@@ -343,6 +402,11 @@ func (d *Daemon) runJob(jb *job) {
 		return
 	}
 
+	emit := func(StreamEvent) {}
+	if jb.prog != nil {
+		emit = jb.prog.add
+	}
+
 	// Panic isolation: a crashing job fails alone, with its stack in
 	// the status, and the worker (and daemon) live on.
 	output, err := func() (out string, err error) {
@@ -351,7 +415,7 @@ func (d *Daemon) runJob(jb *job) {
 				err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 			}
 		}()
-		return d.execute(ctx, spec)
+		return d.execute(ctx, spec, emit)
 	}()
 
 	d.mu.Lock()
@@ -362,7 +426,10 @@ func (d *Daemon) runJob(jb *job) {
 	switch {
 	case abandoned && err != nil:
 		// Shutdown took the context away: leave the journal without a
-		// finish record so a restart re-runs the job (checkpoint).
+		// finish record so a restart re-runs the job (checkpoint). The
+		// stream buffer stays open too — no done event is emitted, and
+		// blocked streamers wake on stopStreams; the restarted daemon
+		// serves the re-run under a fresh generation.
 		d.mu.Lock()
 		jb.status.State = StateInterrupted
 		jb.status.Error = "interrupted by daemon shutdown; will re-run on restart"
@@ -412,25 +479,34 @@ func (d *Daemon) finish(jb *job, state JobState, output, errMsg string, journalI
 		d.stats.cancelled++
 	}
 	d.retainLocked(jb)
+	prog := jb.prog
 	d.mu.Unlock()
+	if prog != nil {
+		prog.finish(state, errMsg)
+	}
 	d.cfg.Logf("serve: %s %s", jb.status.ID, state)
 }
 
 // retainLocked enforces the bounded-output retention: the newest
-// RetainOutputs terminal jobs keep their bytes, older ones are
-// evicted to the journal. Caller holds d.mu.
+// RetainOutputs terminal jobs keep their output bytes and stream
+// buffer, older ones are evicted to the journal (their streams
+// degrade to the synthesized done-only replay). Caller holds d.mu.
 func (d *Daemon) retainLocked(jb *job) {
-	if jb.status.Output == "" {
+	if jb.status.Output == "" && jb.prog == nil {
 		return
 	}
 	d.retained = append(d.retained, jb.status.ID)
 	for len(d.retained) > d.cfg.RetainOutputs {
 		old := d.jobs[d.retained[0]]
 		d.retained = d.retained[1:]
-		if old != nil && old.status.Output != "" {
+		if old == nil {
+			continue
+		}
+		if old.status.Output != "" {
 			old.status.Output = ""
 			old.status.OutputDropped = true
 		}
+		old.prog = nil
 	}
 }
 
@@ -459,7 +535,12 @@ func (d *Daemon) Cancel(id string) (JobStatus, error) {
 		if err := d.journal.append(rec); err != nil {
 			d.cfg.Logf("serve: %s: journal cancel failed: %v", id, err)
 		}
+		d.retainLocked(jb)
+		prog := jb.prog
 		d.mu.Unlock()
+		if prog != nil {
+			prog.finish(StateCancelled, st.Error)
+		}
 		d.cfg.Logf("serve: %s cancelled while queued", id)
 		return st, nil
 	case StateRunning:
@@ -534,7 +615,16 @@ func (d *Daemon) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	d.srv = &http.Server{Handler: d.Handler()}
+	// WriteTimeout stays zero on purpose: it would cut long-lived
+	// /stream responses. Non-streaming responses get a per-request
+	// write deadline in Handler, and streams a per-write deadline in
+	// handleStream.
+	d.srv = &http.Server{
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: d.cfg.HTTPReadHeaderTimeout,
+		ReadTimeout:       d.cfg.HTTPReadTimeout,
+		IdleTimeout:       d.cfg.HTTPIdleTimeout,
+	}
 	go d.srv.Serve(ln)
 	return ln.Addr(), nil
 }
@@ -590,6 +680,10 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 		}
 	}
 
+	// Wake every blocked streamer so the HTTP shutdown below is not
+	// held open by long-lived /stream responses.
+	close(d.stopStreams)
+
 	if d.srv != nil {
 		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer scancel()
@@ -605,21 +699,129 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST   /jobs        submit (202; 429 + Retry-After on queue-full; 503 draining)
-//	GET    /jobs        list statuses, outputs elided
-//	GET    /jobs/{id}   one status, output included
-//	DELETE /jobs/{id}   cancel
-//	GET    /healthz     process self-stats + daemon counters (always 200 while serving)
-//	GET    /readyz      200 while admitting, 503 once draining
+//	POST   /jobs               submit (202; 429 + Retry-After on queue-full; 503 draining)
+//	GET    /jobs               list statuses, outputs elided
+//	GET    /jobs/{id}          one status, output included
+//	GET    /jobs/{id}/stream   NDJSON event stream (see stream.go; ?offset=N&gen=G resumes)
+//	DELETE /jobs/{id}          cancel
+//	GET    /healthz            process self-stats + daemon counters (always 200 while serving)
+//	GET    /readyz             200 while admitting, 503 once draining
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", d.handleSubmit)
 	mux.HandleFunc("GET /jobs", d.handleList)
 	mux.HandleFunc("GET /jobs/{id}", d.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/stream", d.handleStream)
 	mux.HandleFunc("DELETE /jobs/{id}", d.handleCancel)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
 	mux.HandleFunc("GET /readyz", d.handleReady)
-	return mux
+	return d.withWriteDeadline(mux)
+}
+
+// withWriteDeadline bounds response writes for the non-streaming
+// endpoints via ResponseController (streams manage their own
+// per-write deadlines in handleStream). Writers that do not support
+// deadlines — httptest recorders — are silently unbounded.
+func (d *Daemon) withWriteDeadline(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/stream") {
+			_ = http.NewResponseController(w).SetWriteDeadline(time.Now().Add(d.cfg.HTTPWriteTimeout))
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// handleStream serves GET /jobs/{id}/stream: the job's event sequence
+// as framed NDJSON, flushed as events arrive, blocking while the job
+// runs. ?offset=N resumes at event N of generation ?gen=G; a stale or
+// absent generation restarts from 0 (the client re-delivers and the
+// consumer dedups on cell key).
+func (d *Daemon) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d.mu.Lock()
+	jb, ok := d.jobs[id]
+	var prog *progress
+	var st JobStatus
+	if ok {
+		prog = jb.prog
+		st = jb.status
+	}
+	d.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound)
+		return
+	}
+
+	offset := 0
+	if v := r.URL.Query().Get("offset"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			offset = n
+		}
+	}
+	gen := r.URL.Query().Get("gen")
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush() // headers out before the first (possibly delayed) event
+
+	if prog == nil {
+		// The live buffer is gone (job finished in a previous process,
+		// or retention evicted it): serve the synthesized deterministic
+		// replay sequence under the stable replay generation.
+		evs := synthesizeStream(d.replayGen, st)
+		if gen != d.replayGen {
+			offset = 0
+		}
+		if offset > len(evs) {
+			offset = len(evs)
+		}
+		d.writeStreamEvents(w, rc, evs[offset:])
+		return
+	}
+
+	if gen != d.gen {
+		offset = 0 // another process's sequence (or first connect): restart
+	}
+	for {
+		evs, closed, wait := prog.snapshot(offset)
+		if len(evs) > 0 {
+			if err := d.writeStreamEvents(w, rc, evs); err != nil {
+				return // client gone or stalled past StreamWriteTimeout
+			}
+			offset += len(evs)
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		case <-d.stopStreams:
+			return
+		}
+	}
+}
+
+// writeStreamEvents writes a batch of framed events, arming the
+// per-write StreamWriteTimeout deadline before each one, and flushes
+// once at the end of the batch.
+func (d *Daemon) writeStreamEvents(w http.ResponseWriter, rc *http.ResponseController, evs []StreamEvent) error {
+	for _, ev := range evs {
+		line, err := EncodeStreamEvent(ev)
+		if err != nil {
+			return err
+		}
+		// Ignore ErrNotSupported (httptest recorders); real
+		// connections enforce the deadline.
+		_ = rc.SetWriteDeadline(time.Now().Add(d.cfg.StreamWriteTimeout))
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	rc.Flush()
+	return nil
 }
 
 // maxSpecBytes bounds a submitted spec body; anything bigger is a

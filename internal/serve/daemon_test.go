@@ -40,8 +40,8 @@ func testDaemon(t *testing.T, cfg Config) *Daemon {
 // blockingExec returns an executor that signals started and blocks
 // until released or its context ends (returning ctx.Err() like the
 // real RunAllCtx-based executor does).
-func blockingExec(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec) (string, error) {
-	return func(ctx context.Context, spec JobSpec) (string, error) {
+func blockingExec(started chan<- string, release <-chan struct{}) func(context.Context, JobSpec, func(StreamEvent)) (string, error) {
+	return func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
 		select {
 		case started <- spec.Experiments[0]:
 		default:
@@ -162,7 +162,7 @@ func TestDeadlineEnforced(t *testing.T) {
 // and the daemon keeps serving.
 func TestPanicIsolation(t *testing.T) {
 	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
-	d.execute = func(ctx context.Context, spec JobSpec) (string, error) {
+	d.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
 		if spec.Experiments[0] == "fig4" {
 			panic("synthetic job crash")
 		}
@@ -279,7 +279,7 @@ func TestShutdownDrainsAndCheckpointsQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2.execute = func(ctx context.Context, spec JobSpec) (string, error) { return "rerun", nil }
+	d2.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) { return "rerun", nil }
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -335,7 +335,7 @@ func TestShutdownDrainTimeoutCheckpointsInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d2.execute = func(ctx context.Context, spec JobSpec) (string, error) { return "rerun", nil }
+	d2.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) { return "rerun", nil }
 	defer func() {
 		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer scancel()
@@ -352,7 +352,7 @@ func TestShutdownDrainTimeoutCheckpointsInFlight(t *testing.T) {
 // healthz carries the self-stats, readyz flips on drain.
 func TestHTTPAPI(t *testing.T) {
 	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
-	d.execute = func(ctx context.Context, spec JobSpec) (string, error) {
+	d.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
 		return "report for " + spec.Experiments[0], nil
 	}
 	ts := httptest.NewServer(d.Handler())
@@ -443,7 +443,7 @@ func TestHTTPAPI(t *testing.T) {
 // flagged output_dropped.
 func TestOutputRetentionBounded(t *testing.T) {
 	d := testDaemon(t, Config{QueueCap: 8, JobWorkers: 1, RetainOutputs: 2})
-	d.execute = func(ctx context.Context, spec JobSpec) (string, error) {
+	d.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
 		return "output-" + spec.Experiments[0], nil
 	}
 	ids := []string{}
@@ -473,7 +473,7 @@ func TestDaemonStartStopNoGoroutineLeak(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		d.execute = func(ctx context.Context, spec JobSpec) (string, error) { return "ok", nil }
+		d.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) { return "ok", nil }
 		addr, err := d.Start("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)

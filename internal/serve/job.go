@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dice/internal/experiments"
+	"dice/internal/obs"
 	"dice/internal/sim"
 	"dice/internal/workloads"
 )
@@ -89,6 +90,13 @@ type JobSpec struct {
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
 	// FaultPolicy selects the fault-handling policy ("" = default).
 	FaultPolicy string `json:"fault_policy,omitempty"`
+	// MetricsEpoch, when nonzero, attaches an epoch-metrics recorder
+	// (sampling every MetricsEpoch simulated cycles) to the job's
+	// simulations and emits each snapshot as an "epoch" event on the
+	// job's stream (GET /jobs/{id}/stream). Recording never changes
+	// results. Epoch events are live telemetry: best-effort and not
+	// replayed for jobs that finished in an earlier daemon process.
+	MetricsEpoch uint64 `json:"metrics_epoch,omitempty"`
 }
 
 // Validate rejects specs the daemon could only fail on mid-run: an
@@ -197,6 +205,20 @@ type JobStatus struct {
 // arrive via ctx; a cancelled run returns the partial output
 // alongside ctx's error.
 func RunSpec(ctx context.Context, spec JobSpec, defaultRefs int) (string, error) {
+	return RunSpecStream(ctx, spec, defaultRefs, nil)
+}
+
+// RunSpecStream is RunSpec with incremental delivery: when emit is
+// non-nil it receives a StreamCell event the moment each cell of a
+// batch job completes (in completion order — the returned Output
+// stays in spec order) and a StreamEpoch event per recorded metrics
+// epoch when the spec sets MetricsEpoch. emit may be called from
+// concurrent worker goroutines and must be safe for concurrent use;
+// the daemon passes the job's stream buffer, which serializes
+// internally. The emitted events carry no Gen/Offset — the buffer
+// stamps them on append. Final output bytes are identical with and
+// without emit (delivery is observation, not computation).
+func RunSpecStream(ctx context.Context, spec JobSpec, defaultRefs int, emit func(StreamEvent)) (string, error) {
 	refs := spec.Refs
 	if refs == 0 {
 		refs = defaultRefs
@@ -207,9 +229,17 @@ func RunSpec(ctx context.Context, spec JobSpec, defaultRefs int) (string, error)
 	r.FaultBER = spec.FaultBER
 	r.FaultSeed = spec.FaultSeed
 	r.FaultPolicy = spec.FaultPolicy
+	if spec.MetricsEpoch > 0 {
+		r.MetricsEpoch = spec.MetricsEpoch
+		if emit != nil {
+			r.MetricsEmit = func(key string, s obs.Snapshot) {
+				emit(StreamEvent{Kind: StreamEpoch, Epoch: &EpochEvent{Key: key, Snap: s}})
+			}
+		}
+	}
 
 	if len(spec.Cells) > 0 {
-		return runCells(ctx, r, spec.Cells, refs)
+		return runCells(ctx, r, spec.Cells, refs, emit)
 	}
 
 	reports, err := experiments.RunAllCtx(ctx, r, spec.selected())
@@ -227,7 +257,9 @@ func RunSpec(ctx context.Context, spec JobSpec, defaultRefs int) (string, error)
 // cancelled mid-batch the completed prefix still encodes — a
 // re-submitted batch re-runs only because the daemon journals no
 // finish record, and determinism makes the re-run byte-identical.
-func runCells(ctx context.Context, r *experiments.Runner, specs []CellSpec, defaultRefs int) (string, error) {
+// emit, when non-nil, receives one StreamCell event per cell as it
+// completes; duplicate keys in one spec each get their own event.
+func runCells(ctx context.Context, r *experiments.Runner, specs []CellSpec, defaultRefs int, emit func(StreamEvent)) (string, error) {
 	cells := make([]experiments.Cell, len(specs))
 	for i, cs := range specs {
 		cfg, err := cs.Config(defaultRefs)
@@ -240,7 +272,14 @@ func runCells(ctx context.Context, r *experiments.Runner, specs []CellSpec, defa
 		}
 		cells[i] = experiments.Cell{Key: cs.Key(), Cfg: cfg, W: w}
 	}
-	err := r.ForEachCellCtx(ctx, cells, nil)
+	var done func(i int, res sim.Result)
+	if emit != nil {
+		done = func(i int, res sim.Result) {
+			cr := CellResultFrom(cells[i].Key, res)
+			emit(StreamEvent{Kind: StreamCell, Cell: &cr})
+		}
+	}
+	err := r.ForEachCellCtx(ctx, cells, done)
 	results := make([]CellResult, 0, len(cells))
 	for i := range cells {
 		res, ok := r.Peek(cells[i].Key)
@@ -272,4 +311,8 @@ type job struct {
 	// leave the job unfinished in the journal (StateInterrupted) so a
 	// restart re-runs it.
 	shutdownAbandon bool
+	// prog is the job's live stream buffer (nil for jobs that finished
+	// in an earlier process — their streams are synthesized from the
+	// status — and for jobs whose buffer retention evicted).
+	prog *progress
 }

@@ -159,17 +159,11 @@ func replayFrom(f *os.File) (*Replay, int64, error) {
 	return rep, validLen, nil
 }
 
-// parseLine validates one "crc8hex space json" line.
+// parseLine validates one "crc8hex space json" line (framing shared
+// with the stream wire format — see stream.go's parseFrame).
 func parseLine(line []byte) (record, bool) {
-	if len(line) < 10 || line[8] != ' ' {
-		return record{}, false
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
-		return record{}, false
-	}
-	payload := line[9:]
-	if crc32.Checksum(payload, crcTable) != want {
+	payload, ok := parseFrame(line)
+	if !ok {
 		return record{}, false
 	}
 	var rec record
@@ -221,10 +215,10 @@ func (j *Journal) append(rec record) error {
 	if err != nil {
 		return fmt.Errorf("serve: journal: %w", err)
 	}
-	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload)
+	line := frameLine(payload)
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.WriteString(line); err != nil {
+	if _, err := j.f.Write(line); err != nil {
 		return fmt.Errorf("serve: journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {

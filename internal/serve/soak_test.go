@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"dice/internal/leakcheck"
+	"dice/internal/obs"
 	"dice/internal/serve"
 	"dice/internal/serve/client"
 )
@@ -54,6 +55,25 @@ func TestSoakConcurrentSubmissions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Gate the prefill jobs (recognized by their distinctive ref
+	// budget) inside the executor: they hold their worker until the
+	// flood below has provably met a full queue. Without the gate the
+	// 429 assertion races job runtime against submission rate — the
+	// simulator is fast enough that prefill jobs can drain as quickly
+	// as the journal-fsync'd submissions arrive, and the queue never
+	// fills on a loaded machine.
+	gate := make(chan struct{})
+	serve.SetExecuteForTest(d, func(ctx context.Context, spec serve.JobSpec, emit func(serve.StreamEvent)) (string, error) {
+		if spec.Refs >= 3_000 {
+			select {
+			case <-gate:
+			case <-ctx.Done():
+				return "", ctx.Err()
+			}
+		}
+		return serve.RunSpecStream(ctx, spec, 0, emit)
+	})
+
 	addr, err := d.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -92,12 +112,12 @@ func TestSoakConcurrentSubmissions(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
 	defer cancel()
 
-	// Prefill: stuff the queue to its cap with slow jobs through a
-	// retrying client. While these drain, the flood below is
-	// guaranteed to meet a full queue and take 429s. Each prefill job
-	// gets a distinct ref budget: the process-wide workload artifact
-	// cache would otherwise collapse identical specs to near-zero
-	// runtime and let the queue drain before the flood arrives.
+	// Prefill: stuff the queue to its cap with gated jobs (held by the
+	// executor wrapper above) through a retrying client, so the flood
+	// below is guaranteed to meet a full queue and take 429s. Each
+	// prefill job keeps a distinct ref budget: the ≥3000 band is the
+	// gate's recognition key, and the process-wide workload artifact
+	// cache would otherwise collapse identical specs once released.
 	prefillSpec := func(i int) serve.JobSpec {
 		return serve.JobSpec{
 			Experiments: []string{"metrics-demo"}, Refs: 3_000 + i*7, Scale: 12, Workers: 2,
@@ -123,6 +143,10 @@ func TestSoakConcurrentSubmissions(t *testing.T) {
 		err error
 	}
 	results := make(chan result, jobs)
+	// Per-submission latency as seen through the retrying client —
+	// backpressure retries included, so the tail is the backpressure
+	// story, not just the handler.
+	var submitLat obs.Latencies
 	var wg sync.WaitGroup
 	for i := 0; i < jobs; i++ {
 		wg.Add(1)
@@ -133,13 +157,26 @@ func TestSoakConcurrentSubmissions(t *testing.T) {
 			c.BaseDelay = 5 * time.Millisecond
 			c.MaxDelay = 100 * time.Millisecond
 			c.MaxAttempts = 400
+			t0 := time.Now()
 			st, err := c.Submit(ctx, specFor(i))
+			submitLat.Observe(time.Since(t0))
 			if err == nil {
 				st, err = c.Wait(ctx, st.ID, 10*time.Millisecond)
 			}
 			results <- result{i, st, err}
 		}(i)
 	}
+
+	// Release the gated prefill workers only once the flood has taken
+	// at least one 429 — from here the backpressure assertion below is
+	// a certainty, not a timing accident.
+	for d.Stats().Rejected == 0 {
+		if ctx.Err() != nil {
+			t.Fatal("flood never met a full queue before the context deadline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(gate)
 	wg.Wait()
 	close(results)
 
@@ -200,6 +237,10 @@ func TestSoakConcurrentSubmissions(t *testing.T) {
 	}
 	t.Logf("soak: %d jobs, %d rejections absorbed by retry, peak queue depth %d",
 		jobs, st.Rejected, st.MaxQueueDepth)
+	if submitLat.Count() != jobs {
+		t.Errorf("latency histogram holds %d samples for %d jobs", submitLat.Count(), jobs)
+	}
+	t.Logf("soak: submit latency %v", submitLat.Summary())
 
 	// Drop the client's pooled connections first so the server's own
 	// shutdown never waits on idle keep-alives.

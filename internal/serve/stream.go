@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dice/internal/obs"
+)
+
+// The streaming wire format: GET /jobs/{id}/stream answers NDJSON,
+// one StreamEvent per line, framed exactly like the journal and the
+// dse results log — "crc8hex space json", CRC-32C over the payload —
+// so a reader can apply the same longest-valid-prefix discipline: a
+// torn tail (connection cut mid-line) parses as "stop here and
+// reconnect", never as corrupt data.
+//
+// Delivery contract. Events are ordered and numbered: the Offset of
+// each event is its index in the job's event sequence, and a client
+// reconnecting with ?offset=N&gen=G receives the suffix starting at N
+// — provided G still names the sequence the daemon is serving. Every
+// daemon process (and every post-restart synthesis of a finished
+// job's stream) mints a fresh generation token, because a re-run
+// job's cells may complete in a different order: offsets are only
+// meaningful within one generation. On a generation mismatch the
+// daemon streams from 0 and the client re-delivers; consumers
+// deduplicate on the canonical cell key (see internal/dse), which the
+// determinism contract makes safe — a re-delivered cell is
+// byte-identical to the first delivery.
+//
+// Cell events and the final done event are replayed on reconnect (the
+// daemon re-derives them from the journal after a crash). Epoch
+// events are live telemetry: best-effort, bounded by StreamBufferCap,
+// and not replayed for a job that finished in a previous process.
+
+// StreamKind discriminates the event types on a job stream.
+type StreamKind string
+
+// The three stream event kinds: a completed cell's result, one epoch
+// metrics snapshot, and the terminal marker that ends the stream.
+const (
+	StreamCell  StreamKind = "cell"
+	StreamEpoch StreamKind = "epoch"
+	StreamDone  StreamKind = "done"
+)
+
+// EpochEvent is one per-epoch metrics snapshot from a running
+// simulation, tagged with the simulation's memoization key
+// ("<config>|<workload>") so a multi-cell job's interleaved epochs
+// remain attributable.
+type EpochEvent struct {
+	// Key is the simulation's memoization key.
+	Key string `json:"key"`
+	// Snap is the epoch snapshot (see METRICS.md for the schema).
+	Snap obs.Snapshot `json:"snap"`
+}
+
+// StreamEvent is one line of a job's NDJSON stream. Exactly one of
+// Cell and Epoch is set for the corresponding kinds; State and Error
+// are set on the done event only.
+type StreamEvent struct {
+	// Kind is the event type (cell, epoch, or done).
+	Kind StreamKind `json:"kind"`
+	// Gen is the generation token of the sequence this event belongs
+	// to; offsets are only comparable within one generation.
+	Gen string `json:"gen"`
+	// Offset is the event's index in its generation's sequence.
+	Offset int `json:"offset"`
+	// Cell carries a completed cell's result (kind "cell").
+	Cell *CellResult `json:"cell,omitempty"`
+	// Epoch carries one epoch metrics snapshot (kind "epoch").
+	Epoch *EpochEvent `json:"epoch,omitempty"`
+	// State is the job's terminal state (kind "done").
+	State JobState `json:"state,omitempty"`
+	// Error is the job's error text, if any (kind "done").
+	Error string `json:"error,omitempty"`
+}
+
+// EncodeStreamEvent renders one event as a framed stream line,
+// trailing newline included.
+func EncodeStreamEvent(ev StreamEvent) ([]byte, error) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding stream event: %w", err)
+	}
+	return frameLine(payload), nil
+}
+
+// DecodeStreamLine parses one framed stream line (without its
+// trailing newline). ok is false for a torn, malformed, or
+// CRC-mismatched line — the reader's signal to stop and reconnect,
+// mirroring the journal's longest-valid-prefix replay.
+func DecodeStreamLine(line []byte) (StreamEvent, bool) {
+	payload, ok := parseFrame(line)
+	if !ok {
+		return StreamEvent{}, false
+	}
+	var ev StreamEvent
+	if err := json.Unmarshal(payload, &ev); err != nil || ev.Kind == "" {
+		return StreamEvent{}, false
+	}
+	return ev, true
+}
+
+// frameLine wraps a JSON payload in the shared "crc8hex space json\n"
+// framing (CRC-32C, same discipline as the journal and results log).
+func frameLine(payload []byte) []byte {
+	return []byte(fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload))
+}
+
+// parseFrame validates the "crc8hex space json" framing and returns
+// the payload; ok is false on any framing or checksum violation.
+func parseFrame(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// genCounter disambiguates generation tokens minted within one clock
+// tick (e.g. two daemons constructed in the same test).
+var genCounter atomic.Uint64
+
+// newGen mints a process-unique generation token.
+func newGen() string {
+	return fmt.Sprintf("g%x-%x", time.Now().UnixNano(), genCounter.Add(1))
+}
+
+// progress is one live job's stream buffer: the ordered event
+// sequence, a closed flag once the done event has been appended, and
+// a broadcast channel for blocked streamers. Cell and done events are
+// always retained (bounded by MaxCellsPerJob+1); epoch events beyond
+// the buffer cap are dropped at append time — they are telemetry, and
+// dropping them before assignment keeps offsets contiguous.
+type progress struct {
+	mu     sync.Mutex
+	gen    string
+	cap    int
+	events []StreamEvent
+	closed bool
+	// notify is closed and replaced on every append, waking every
+	// streamer blocked in snapshot.
+	notify chan struct{}
+	// droppedEpochs counts epoch events the buffer cap discarded.
+	droppedEpochs uint64
+}
+
+// newProgress returns an empty stream buffer for one job.
+func newProgress(gen string, bufCap int) *progress {
+	return &progress{gen: gen, cap: bufCap, notify: make(chan struct{})}
+}
+
+// add appends one event, stamping its generation and offset, and
+// wakes blocked streamers. Epoch events are dropped once the buffer
+// cap is reached; cell and done events always append. Appending after
+// close is ignored (defensive: the executor has no events to emit
+// after the outcome is recorded).
+func (p *progress) add(ev StreamEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if ev.Kind == StreamEpoch && p.cap > 0 && len(p.events) >= p.cap {
+		p.droppedEpochs++
+		return
+	}
+	ev.Gen = p.gen
+	ev.Offset = len(p.events)
+	p.events = append(p.events, ev)
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+// finish appends the terminal done event and closes the buffer.
+func (p *progress) finish(state JobState, errMsg string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.events = append(p.events, StreamEvent{
+		Kind: StreamDone, Gen: p.gen, Offset: len(p.events),
+		State: state, Error: errMsg,
+	})
+	p.closed = true
+	close(p.notify)
+	p.notify = make(chan struct{})
+}
+
+// snapshot returns the events at and after offset from (clamped into
+// range), whether the stream is complete, and a channel that is
+// closed on the next append — the streamer blocks on it when it has
+// written everything and the job is still running.
+func (p *progress) snapshot(from int) (evs []StreamEvent, closed bool, wait <-chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(p.events) {
+		from = len(p.events)
+	}
+	// The tail slice is safe to return: events are append-only and
+	// individual entries are never mutated after publication.
+	return p.events[from:], p.closed, p.notify
+}
+
+// synthesizeStream rebuilds a finished job's event sequence from its
+// status — used for jobs whose live buffer is gone (journal-replayed
+// finished jobs, or outputs evicted by retention). Cell results decode
+// from Output in spec order; epoch events are not reconstructable and
+// are omitted. The sequence is deterministic per process, so it gets
+// a stable per-daemon replay generation and reconnect offsets remain
+// valid against it.
+func synthesizeStream(gen string, st JobStatus) []StreamEvent {
+	var evs []StreamEvent
+	if len(st.Spec.Cells) > 0 && st.Output != "" {
+		if cells, err := DecodeCellResults(strings.NewReader(st.Output)); err == nil {
+			for i := range cells {
+				evs = append(evs, StreamEvent{Kind: StreamCell, Cell: &cells[i]})
+			}
+		}
+	}
+	evs = append(evs, StreamEvent{Kind: StreamDone, State: st.State, Error: st.Error})
+	for i := range evs {
+		evs[i].Gen = gen
+		evs[i].Offset = i
+	}
+	return evs
+}

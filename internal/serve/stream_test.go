@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dice/internal/leakcheck"
+)
+
+// Stream-layer tests: wire framing, the progress buffer, the HTTP
+// handler's resume/generation semantics, the slowloris drop, and
+// goroutine hygiene for dropped stream connections. End-to-end
+// streaming through the real binaries lives in cmd/dicebenchd and
+// cmd/dicesweep.
+
+// streamCells is a small valid cell batch for streaming tests.
+func streamCells() []CellSpec {
+	return []CellSpec{
+		{Workload: "gcc", Refs: 300, Scale: 12},
+		{Workload: "mcf", Policy: "dice", Refs: 300, Scale: 12},
+		{Workload: "bzip2", Policy: "tsi", Refs: 300, Scale: 12},
+	}
+}
+
+// openStream connects to a daemon's stream endpoint and returns the
+// response body with a line reader.
+func openStream(t *testing.T, base, id string, offset int, gen string) (io.ReadCloser, *bufio.Reader) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/jobs/%s/stream?offset=%d&gen=%s", base, id, offset, gen))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+	return resp.Body, bufio.NewReaderSize(resp.Body, 1<<20)
+}
+
+// readEvent reads and decodes one framed stream line.
+func readEvent(t *testing.T, r *bufio.Reader) StreamEvent {
+	t.Helper()
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading stream line: %v", err)
+	}
+	ev, ok := DecodeStreamLine(line[:len(line)-1])
+	if !ok {
+		t.Fatalf("undecodable stream line: %q", line)
+	}
+	return ev
+}
+
+// The wire format round-trips, and torn or corrupted lines are
+// rejected rather than misparsed — the reconnect discipline.
+func TestStreamWireFormat(t *testing.T) {
+	cr := CellResult{Key: "k1", Workload: "gcc", IPC: []float64{0.5}, Cycles: 123}
+	line, err := EncodeStreamEvent(StreamEvent{Kind: StreamCell, Gen: "g1", Offset: 7, Cell: &cr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line[len(line)-1] != '\n' {
+		t.Fatalf("frame missing trailing newline: %q", line)
+	}
+	ev, ok := DecodeStreamLine(line[:len(line)-1])
+	if !ok {
+		t.Fatalf("round trip failed for %q", line)
+	}
+	if ev.Kind != StreamCell || ev.Gen != "g1" || ev.Offset != 7 || ev.Cell == nil || ev.Cell.Key != "k1" {
+		t.Fatalf("round trip mangled event: %+v", ev)
+	}
+	for _, bad := range [][]byte{
+		nil,
+		[]byte("short"),
+		line[:len(line)/2],                      // torn mid-frame
+		append([]byte("00000000 "), line[9:]...), // CRC mismatch
+		[]byte("zzzzzzzz " + `{"kind":"cell"}`), // non-hex CRC
+		frameLine([]byte(`{"not":"an event"}`)), // valid frame, no kind
+	} {
+		if _, ok := DecodeStreamLine(bad); ok {
+			t.Errorf("DecodeStreamLine accepted invalid line %q", bad)
+		}
+	}
+}
+
+// The progress buffer drops epoch events beyond its cap — telemetry
+// degrades — while cell and done events always land, and offsets stay
+// contiguous through the drops.
+func TestProgressBufferBoundsEpochs(t *testing.T) {
+	p := newProgress("g", 3)
+	p.add(StreamEvent{Kind: StreamEpoch, Epoch: &EpochEvent{Key: "a"}})
+	p.add(StreamEvent{Kind: StreamEpoch, Epoch: &EpochEvent{Key: "b"}})
+	p.add(StreamEvent{Kind: StreamEpoch, Epoch: &EpochEvent{Key: "c"}})
+	p.add(StreamEvent{Kind: StreamEpoch, Epoch: &EpochEvent{Key: "dropped"}})
+	cr := CellResult{Key: "cell"}
+	p.add(StreamEvent{Kind: StreamCell, Cell: &cr})
+	p.finish(StateDone, "")
+	evs, closed, _ := p.snapshot(0)
+	if !closed {
+		t.Fatal("buffer not closed after finish")
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5 (3 epochs + cell + done)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Offset != i {
+			t.Fatalf("event %d has offset %d", i, ev.Offset)
+		}
+	}
+	if evs[3].Kind != StreamCell || evs[4].Kind != StreamDone {
+		t.Fatalf("cell/done events displaced: %+v", evs)
+	}
+	if p.droppedEpochs != 1 {
+		t.Fatalf("droppedEpochs = %d, want 1", p.droppedEpochs)
+	}
+}
+
+// A real cell job's stream delivers every cell result, interleaved
+// epoch snapshots, and a final done event — with one generation and
+// contiguous offsets — and the cell payloads are byte-equal to what
+// the polling path decodes from the job output.
+func TestStreamDeliversCellsEpochsAndDone(t *testing.T) {
+	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	spec := JobSpec{Cells: streamCells(), Workers: 1, MetricsEpoch: 5000}
+	st := mustSubmit(t, d, spec)
+
+	body, r := openStream(t, base, st.ID, 0, "")
+	defer body.Close()
+
+	var (
+		gen    string
+		cells  = map[string]CellResult{}
+		epochs int
+		events int
+		done   StreamEvent
+	)
+	for {
+		ev := readEvent(t, r)
+		if events == 0 {
+			gen = ev.Gen
+		} else if ev.Gen != gen {
+			t.Fatalf("generation changed mid-stream: %q -> %q", gen, ev.Gen)
+		}
+		if ev.Offset != events {
+			t.Fatalf("event %d has offset %d", events, ev.Offset)
+		}
+		events++
+		switch ev.Kind {
+		case StreamCell:
+			cells[ev.Cell.Key] = *ev.Cell
+		case StreamEpoch:
+			if ev.Epoch == nil || ev.Epoch.Key == "" {
+				t.Fatalf("epoch event without key: %+v", ev)
+			}
+			epochs++
+		case StreamDone:
+			done = ev
+		}
+		if ev.Kind == StreamDone {
+			break
+		}
+	}
+	if done.State != StateDone {
+		t.Fatalf("done event state = %s (%s)", done.State, done.Error)
+	}
+	if epochs == 0 {
+		t.Fatal("no epoch events streamed despite MetricsEpoch")
+	}
+
+	// Byte-identity with the polling path: the same CellResult values
+	// decode from the terminal output.
+	fin := waitState(t, d, st.ID, StateDone)
+	polled, err := DecodeCellResults(strings.NewReader(fin.Output))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polled) != len(spec.Cells) || len(cells) != len(spec.Cells) {
+		t.Fatalf("streamed %d cells, polled %d, want %d", len(cells), len(polled), len(spec.Cells))
+	}
+	for _, want := range polled {
+		got, ok := cells[want.Key]
+		if !ok {
+			t.Fatalf("stream missed cell %s", want.Key)
+		}
+		if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+			t.Fatalf("cell %s differs:\nstream: %+v\npoll:   %+v", want.Key, got, want)
+		}
+	}
+}
+
+// fakeStreamExec returns an executor that emits staged cell events:
+// the first batch immediately, the rest after release is closed.
+func fakeStreamExec(first, rest []string, started chan<- struct{}, release <-chan struct{}) func(context.Context, JobSpec, func(StreamEvent)) (string, error) {
+	return func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
+		for _, k := range first {
+			cr := CellResult{Key: k}
+			emit(StreamEvent{Kind: StreamCell, Cell: &cr})
+		}
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+		for _, k := range rest {
+			cr := CellResult{Key: k}
+			emit(StreamEvent{Kind: StreamCell, Cell: &cr})
+		}
+		return "", nil
+	}
+}
+
+// A client that drops mid-stream and reconnects with ?offset=N&gen=G
+// resumes exactly at event N: no duplicates, no gaps.
+func TestStreamResumeAtOffset(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
+	d.execute = fakeStreamExec([]string{"c0", "c1", "c2"}, []string{"c3", "c4"}, started, release)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	st := mustSubmit(t, d, JobSpec{Experiments: []string{"fig4"}})
+	<-started
+
+	// First connection: consume the three emitted events, then drop.
+	body, r := openStream(t, base, st.ID, 0, "")
+	var gen string
+	for i := 0; i < 3; i++ {
+		ev := readEvent(t, r)
+		gen = ev.Gen
+		if ev.Offset != i || ev.Cell.Key != fmt.Sprintf("c%d", i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	body.Close()
+
+	// Reconnect at offset 3 with the generation we saw; release the
+	// executor; the stream must continue with c3, c4, done — never
+	// re-delivering c0..c2.
+	body2, r2 := openStream(t, base, st.ID, 3, gen)
+	defer body2.Close()
+	close(release)
+	for i, want := range []string{"c3", "c4"} {
+		ev := readEvent(t, r2)
+		if ev.Gen != gen || ev.Offset != 3+i || ev.Kind != StreamCell || ev.Cell.Key != want {
+			t.Fatalf("resumed event %d = %+v, want cell %s at offset %d", i, ev, want, 3+i)
+		}
+	}
+	fin := readEvent(t, r2)
+	if fin.Kind != StreamDone || fin.State != StateDone || fin.Offset != 5 {
+		t.Fatalf("final event = %+v", fin)
+	}
+}
+
+// A reconnect bearing a stale generation token must restart from 0 —
+// offsets from another daemon process's sequence are meaningless.
+func TestStreamStaleGenerationRestartsFromZero(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	close(release) // emit everything immediately
+	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
+	d.execute = fakeStreamExec([]string{"c0", "c1"}, nil, started, release)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	st := mustSubmit(t, d, JobSpec{Experiments: []string{"fig4"}})
+	waitState(t, d, st.ID, StateDone)
+
+	body, r := openStream(t, base, st.ID, 2, "not-this-daemons-gen")
+	defer body.Close()
+	ev := readEvent(t, r)
+	if ev.Offset != 0 || ev.Kind != StreamCell || ev.Cell.Key != "c0" {
+		t.Fatalf("first event after stale-gen reconnect = %+v, want c0 at offset 0", ev)
+	}
+}
+
+// After a restart, a journal-finished job's stream is synthesized
+// from its output: every cell re-delivered in spec order under the
+// replay generation, then the done event.
+func TestStreamSynthesizedAfterRestart(t *testing.T) {
+	journal := tmpJournal(t)
+	cells := streamCells()[:2]
+	var enc strings.Builder
+	results := []CellResult{{Key: cells[0].Key(), Workload: "gcc"}, {Key: cells[1].Key(), Workload: "mcf"}}
+	if err := EncodeCellResults(&enc, results); err != nil {
+		t.Fatal(err)
+	}
+
+	d1, _, err := New(Config{JournalPath: journal, QueueCap: 4, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.execute = func(ctx context.Context, spec JobSpec, emit func(StreamEvent)) (string, error) {
+		return enc.String(), nil
+	}
+	st, err := d1.Submit(JobSpec{Cells: cells, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, d1, st.ID, StateDone)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := d1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, _, err := New(Config{JournalPath: journal, QueueCap: 4, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		d2.Shutdown(sctx)
+	}()
+	addr, err := d2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, r := openStream(t, "http://"+addr.String(), st.ID, 0, "")
+	defer body.Close()
+	for i, want := range results {
+		ev := readEvent(t, r)
+		if ev.Kind != StreamCell || ev.Offset != i || ev.Cell.Key != want.Key {
+			t.Fatalf("synthesized event %d = %+v, want cell %s", i, ev, want.Key)
+		}
+		if !strings.HasSuffix(ev.Gen, "-replay") {
+			t.Fatalf("synthesized event carries gen %q, want a replay generation", ev.Gen)
+		}
+	}
+	fin := readEvent(t, r)
+	if fin.Kind != StreamDone || fin.State != StateDone {
+		t.Fatalf("synthesized final event = %+v", fin)
+	}
+}
+
+// Streaming an unknown job is a 404, not a hung connection.
+func TestStreamUnknownJob(t *testing.T) {
+	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1})
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/jobs/nope/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+}
+
+// The slowloris defense: a connection that sends a partial request
+// and stalls must be dropped once ReadHeaderTimeout expires, not held
+// open forever.
+func TestStalledHeaderConnDropped(t *testing.T) {
+	d := testDaemon(t, Config{QueueCap: 4, JobWorkers: 1, HTTPReadHeaderTimeout: 200 * time.Millisecond})
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /jobs HTT")); err != nil { // stalls mid-request-line
+		t.Fatal(err)
+	}
+	start := time.Now()
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed the connection (or test deadline hit)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled-header connection survived %v, want drop near the 200ms ReadHeaderTimeout", elapsed)
+	}
+}
+
+// Dropped stream connections must not leak handler goroutines, and a
+// daemon with live streams must still shut down cleanly.
+func TestStreamDroppedConnNoLeak(t *testing.T) {
+	verify := leakcheck.Check(t)
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	d, _, err := New(Config{JournalPath: tmpJournal(t), QueueCap: 4, JobWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.execute = fakeStreamExec([]string{"c0"}, []string{"c1"}, started, release)
+	addr, err := d.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	st, err := d.Submit(JobSpec{Experiments: []string{"fig4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// Open several streams mid-job and drop them all: each handler
+	// goroutine must unblock on the closed request context.
+	for i := 0; i < 4; i++ {
+		body, r := openStream(t, base, st.ID, 0, "")
+		readEvent(t, r) // ensure the handler is past its first write
+		body.Close()
+	}
+
+	// A second job stays queued (the single worker is busy) and its
+	// stream has no events to deliver: the handler blocks. Shutdown
+	// must wake it via stopStreams, not hang the HTTP drain on it.
+	queued, err := d.Submit(JobSpec{Experiments: []string{"fig10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, _ := openStream(t, base, queued.ID, 0, "")
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		shutdownDone <- d.Shutdown(ctx)
+	}()
+	// Admission is closed the moment Shutdown begins; only then
+	// release the running job so the worker exits without ever
+	// picking up the queued one.
+	deadline := time.Now().Add(10 * time.Second)
+	for !d.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("shutdown never started draining")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatal(err)
+	}
+	// The remaining goroutines to drain are the *client's*: the
+	// still-open stream body and the transport's keep-alive loops.
+	blocked.Close()
+	http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+	verify()
+}
