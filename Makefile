@@ -9,7 +9,7 @@ GO ?= go
 LINTDOC_PKGS = ./internal/obs ./internal/fault ./internal/parallel \
 	./internal/serve ./internal/serve/client ./internal/sigctx \
 	./internal/leakcheck ./internal/dse ./internal/clidoc \
-	./internal/experiments ./cmd/dicesweep
+	./internal/experiments ./internal/commitlog ./cmd/dicesweep
 
 all: build vet lint test
 
@@ -46,17 +46,19 @@ fuzz:
 # Full benchmark harness: regenerates every paper table/figure as
 # testing.B benchmarks plus the compression microbenchmarks, then
 # records the per-layer hot-path numbers (ns/ref, allocs/ref, refs/sec)
-# into BENCH_pr9.json under the "pr9" label — including the
-# daemon/submit entry, a latency distribution (mean plus p50/p99/p999
+# into BENCH_pr10.json under the "pr10" label — including the
+# daemon/submit entries, latency distributions (mean plus p50/p99/p999
 # tail quantiles) over the job-submission path against an in-process
-# daemon. The simcore/{event,cycle} pair is the discrete-event
-# scheduler's dispatch comparison, the matrix/gap8-{cold,warm} pair the
-# artifact cache's headline warm-vs-cold wall-clock ratio, and the
-# "pr9-sweep" label in the same file is sweep-smoke's cells/hour
-# record.
+# daemon, sequential and at 32 concurrent clients riding the journal's
+# group commit, and the commitlog/append-{1,64} pair whose appends/sec
+# ratio is the fsync amortization factor on this machine. The
+# simcore/{event,cycle} pair is the discrete-event scheduler's
+# dispatch comparison, the matrix/gap8-{cold,warm} pair the artifact
+# cache's headline warm-vs-cold wall-clock ratio, and the "pr10-sweep"
+# label in the same file is sweep-smoke's cells/hour record.
 bench:
 	$(GO) test -bench=. -benchmem .
-	$(GO) run ./cmd/perfbench -label pr9 -out BENCH_pr9.json
+	$(GO) run ./cmd/perfbench -label pr10 -out BENCH_pr10.json
 
 # Short benchmark smoke pass for CI: a few iterations of every per-layer
 # benchmark, just enough to catch a benchmark that no longer compiles or
@@ -66,25 +68,33 @@ bench:
 # against silent caching regressions. The event-core smoke (DICE_SMOKE=1
 # gates its wall-clock assertion out of plain `go test ./...`) asserts
 # the discrete-event scheduler still beats the cycle-stepped reference
-# on the idle-heaviest catalog config, and the golden-report run pins
-# the experiment bytes under the event core.
+# on the idle-heaviest catalog config, the golden-report run pins the
+# experiment bytes under the event core, and the group-commit guard
+# (same DICE_SMOKE gate) asserts the batched journal beats the
+# fsync-per-append reference discipline at p99 by the 1.05x smoke
+# floor under concurrent submission load, with the journal's counters
+# proving the batching structurally.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=5x ./internal/compress ./internal/dcache ./internal/dram ./internal/workloads ./internal/sim
 	$(GO) test -run='^TestArtifactCacheSmoke$$' -count=1 -v ./internal/experiments
 	DICE_SMOKE=1 $(GO) test -run='^TestEventCoreSmokeSpeedup$$' -count=1 -v ./internal/sim
 	$(GO) test -run='^TestGoldenReports$$' -count=1 ./internal/experiments
-	$(GO) test -run='^TestSubmitLatencyEntry$$' -count=1 -v ./cmd/perfbench
+	$(GO) test -run='^TestSubmitLatencyEntry$$|^TestCommitLogAppendEntry$$' -count=1 -v ./cmd/perfbench
+	DICE_SMOKE=1 $(GO) test -run='^TestGroupCommitSubmitGuard$$' -count=1 -v ./cmd/perfbench
 
-# Daemon load/soak proof under the race detector: 200 concurrent
-# submissions through the retrying client against a queue bounded at
-# 32 (so backpressure 429s are exercised and absorbed), every job's
-# output byte-compared against a serial reference, zero goroutine
-# leaks after shutdown, and the per-submission latency histogram
-# (p50/p90/p99/p999 through the retrying client, backpressure retries
-# included) logged. DICE_SMOKE=1 raises the soak from its quick tier-1
-# size to the full 200-job version.
+# Daemon load/soak proof, two passes: concurrent submissions through
+# the retrying client against a queue bounded at 32 (so backpressure
+# 429s are exercised and absorbed), every job's output byte-compared
+# against a serial reference, zero goroutine leaks after shutdown, and
+# the per-submission latency histogram (p50/p90/p99/p999 through the
+# retrying client, backpressure retries included) logged. The first
+# pass runs under the race detector at the hundreds scale (the
+# detector's instrumentation makes a thousands-scale flood intractable
+# on small machines); the second runs the full 2000-job thousands-scale
+# soak without it. DICE_SMOKE=1 raises both from the quick tier-1 size.
 soak:
-	DICE_SMOKE=1 $(GO) test -race -run='^TestSoakConcurrentSubmissions$$' -count=1 -v ./internal/serve
+	DICE_SMOKE=1 $(GO) test -race -timeout 30m -run='^TestSoakConcurrentSubmissions$$' -count=1 -v ./internal/serve
+	DICE_SMOKE=1 $(GO) test -timeout 30m -run='^TestSoakConcurrentSubmissions$$' -count=1 -v ./internal/serve
 
 # Daemon smoke: build the real dicebenchd binary and drive it as an
 # operator would — HTTP submit/poll/healthz, SIGTERM clean drain,
@@ -106,8 +116,8 @@ daemon-smoke:
 # for well-formedness; plus the SIGINT-mid-sweep / -resume round trip
 # and a daemon SIGKILLed mid-stream and restarted on the same port
 # (the sweep rides through with no duplicate cells in its results
-# log). Records the headline cells/hour number to BENCH_pr9.json under
-# the "pr9-sweep" label.
+# log). Records the headline cells/hour number to BENCH_pr10.json
+# under the "pr10-sweep" label.
 sweep-smoke:
 	DICE_SMOKE=1 $(GO) test -run='^TestSweepSmoke' -count=1 -v ./cmd/dicesweep
 

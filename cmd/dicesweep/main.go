@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"dice/internal/commitlog"
 	"dice/internal/dse"
 	"dice/internal/sigctx"
 )
@@ -43,6 +44,8 @@ import (
 type cliFlags struct {
 	spec          *string
 	log           *string
+	logLinger     *time.Duration
+	logBatch      *int
 	resume        *bool
 	workers       *int
 	daemons       *string
@@ -63,6 +66,8 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 	return &cliFlags{
 		spec:          fs.String("spec", "", "sweep spec file (required; see SWEEPS.md)"),
 		log:           fs.String("log", "", "results-log path ('' = <spec>.results)"),
+		logLinger:     fs.Duration("log-linger", 0, "results-log group-commit linger: how long the committer waits for batch-mates (0 = commit immediately; batching still occurs behind in-flight syncs)"),
+		logBatch:      fs.Int("log-batch-bytes", 1<<20, "results-log group-commit batch bound in bytes"),
 		resume:        fs.Bool("resume", false, "continue from an existing results log instead of erroring on it"),
 		workers:       fs.Int("workers", 0, "concurrent simulations (0 = one per CPU, 1 = serial)"),
 		daemons:       fs.String("daemons", "", "comma-separated dicebenchd base URLs to shard across ('' = run in-process)"),
@@ -118,7 +123,16 @@ func run(opts *cliFlags) error {
 	if logPath == "" {
 		logPath = *opts.spec + ".results"
 	}
-	rlog, replay, err := dse.OpenResultLog(logPath)
+	if *opts.logLinger < 0 {
+		return fmt.Errorf("dicesweep: -log-linger must be non-negative, got %v", *opts.logLinger)
+	}
+	if *opts.logBatch <= 0 {
+		return fmt.Errorf("dicesweep: -log-batch-bytes must be positive, got %d", *opts.logBatch)
+	}
+	rlog, replay, err := dse.OpenResultLogWith(logPath, commitlog.Options{
+		MaxLinger:     *opts.logLinger,
+		MaxBatchBytes: *opts.logBatch,
+	})
 	if err != nil {
 		return err
 	}
@@ -234,9 +248,9 @@ func writeFrontier(prefix string, points []dse.Point) error {
 }
 
 // writeBench records the sweep's throughput — the headline cells/hour
-// metric — into the JSON benchmark file under the "pr9-sweep" label,
+// metric — into the JSON benchmark file under the "pr10-sweep" label,
 // preserving every other label already there (cmd/perfbench records
-// its per-layer entries into the same file under "pr9").
+// its per-layer entries into the same file under "pr10").
 func writeBench(path string, ran int, elapsed time.Duration, opt dse.Options) error {
 	cph := 0.0
 	if s := elapsed.Seconds(); s > 0 {
@@ -248,7 +262,7 @@ func writeBench(path string, ran int, elapsed time.Duration, opt dse.Options) er
 			return fmt.Errorf("dicesweep: %s exists but is not a label map: %v", path, err)
 		}
 	}
-	all["pr9-sweep"] = json.RawMessage(fmt.Sprintf(
+	all["pr10-sweep"] = json.RawMessage(fmt.Sprintf(
 		`{"cells": %d, "seconds": %.3f, "cells_per_hour": %.1f, "workers": %d, "daemons": %d}`,
 		ran, elapsed.Seconds(), cph, opt.Workers, len(opt.Daemons)))
 	keys := make([]string, 0, len(all))

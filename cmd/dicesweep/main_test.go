@@ -99,7 +99,7 @@ func readFile(t *testing.T, path string) []byte {
 // local workers 8 vs workers 1 vs daemon-sharded — the latter both
 // streaming (the default) and -poll-only, at workers 1 and 8 — all
 // frontier exports byte-identical, cells/hour recorded to
-// BENCH_pr9.json, and the streamed epoch-metrics NDJSON non-empty and
+// BENCH_pr10.json, and the streamed epoch-metrics NDJSON non-empty and
 // well-formed.
 func TestSweepSmokeLocalDaemonParity(t *testing.T) {
 	if os.Getenv("DICE_SMOKE") == "" {
@@ -110,7 +110,7 @@ func TestSweepSmokeLocalDaemonParity(t *testing.T) {
 	if err := os.WriteFile(specPath, []byte(sweepSmoke), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	benchPath, err := filepath.Abs("../../BENCH_pr9.json")
+	benchPath, err := filepath.Abs("../../BENCH_pr10.json")
 	if err != nil {
 		t.Fatal(err)
 	}

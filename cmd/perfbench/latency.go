@@ -5,43 +5,75 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"dice/internal/commitlog"
 	"dice/internal/obs"
 	"dice/internal/serve"
 	"dice/internal/serve/client"
 )
 
 // submitSamples is the distribution size for the daemon/submit latency
-// entry: enough samples that p99 is a real rank (the 507th of 512) and
-// p999 is the max, cheap enough that the whole measurement is a few
-// seconds.
+// entries: enough samples that p99 is a real rank (the 507th of 512)
+// and p999 is the max, cheap enough that the whole measurement is a
+// few seconds.
 const submitSamples = 512
+
+// submitConcurrency is how many clients the concurrent daemon/submit
+// entry drives at once — the regime group commit exists for: every
+// in-flight submit shares the journal batch behind the sync in
+// progress instead of queueing its own fsync.
+const submitConcurrency = 32
+
+// submitLinger is the -journal-linger setting for the concurrent
+// daemon/submit entries. A short linger consolidates the commit
+// cadence: instead of the committer waking per enqueue and paying a
+// scheduler handoff per tiny batch, it gathers everything that
+// arrives inside the window into one write+fsync, which is the
+// configuration the tunable exists for under concurrent load.
+const submitLinger = 2 * time.Millisecond
 
 // measureSubmitLatency measures the daemon's job-submission path —
 // HTTP POST through the retrying client, spec validation, journal
 // append, queue insert, response — as a latency distribution over n
 // sequential submissions against an in-process daemon on a real
-// socket. The queue is sized to hold every submission so no sample is
-// inflated by 429 backpressure retries; the jobs themselves are tiny
-// single-cell sims that drain during shutdown.
+// socket (the historical daemon/submit entry).
 func measureSubmitLatency(n int) (Entry, error) {
+	e, _, err := measureSubmitLatencyWith(n, 1, 0, false)
+	return e, err
+}
+
+// measureSubmitLatencyWith generalizes measureSubmitLatency: n total
+// submissions issued by `concurrency` goroutines, against a journal
+// in group-commit (default, with the given linger) or
+// fsync-per-append reference mode (noGroupCommit — the pre-commitlog
+// discipline, kept for same-machine A/B). It also returns the
+// journal's group-commit counters so the bench-smoke guard can assert
+// the batching actually happened. The queue is sized to hold every
+// submission so no sample is inflated by 429 backpressure retries;
+// the jobs themselves are tiny single-cell sims that are cancelled
+// before shutdown.
+func measureSubmitLatencyWith(n, concurrency int, linger time.Duration, noGroupCommit bool) (Entry, *commitlog.Stats, error) {
 	dir, err := os.MkdirTemp("", "perfbench-submit-*")
 	if err != nil {
-		return Entry{}, err
+		return Entry{}, nil, err
 	}
 	defer os.RemoveAll(dir)
 	d, _, err := serve.New(serve.Config{
-		JournalPath: filepath.Join(dir, "bench.journal"),
-		QueueCap:    n + 16,
-		JobWorkers:  2,
+		JournalPath:          filepath.Join(dir, "bench.journal"),
+		JournalLinger:        linger,
+		JournalNoGroupCommit: noGroupCommit,
+		QueueCap:             n + 16,
+		JobWorkers:           2,
 	})
 	if err != nil {
-		return Entry{}, fmt.Errorf("perfbench: daemon: %w", err)
+		return Entry{}, nil, fmt.Errorf("perfbench: daemon: %w", err)
 	}
 	addr, err := d.Start("127.0.0.1:0")
 	if err != nil {
-		return Entry{}, fmt.Errorf("perfbench: daemon listen: %w", err)
+		return Entry{}, nil, fmt.Errorf("perfbench: daemon listen: %w", err)
 	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -49,25 +81,66 @@ func measureSubmitLatency(n int) (Entry, error) {
 		d.Shutdown(ctx)
 	}()
 
-	c := client.New("http://"+addr.String(), 1)
-	spec := serve.JobSpec{
-		Cells: []serve.CellSpec{{Workload: "gcc", Policy: "dice", Refs: 200, Scale: 10}},
+	// Sequential runs keep the historical daemon/submit workload (a
+	// small but real cell). Concurrent runs shrink the cell to one
+	// reference: with tens of clients in flight on few cores, running
+	// sims would otherwise saturate the CPU and the distribution would
+	// measure scheduler contention, not the submission path the entry
+	// (and the group-commit guard) exists to track.
+	refs := 200
+	if concurrency > 1 {
+		refs = 1
 	}
-	var lat obs.Latencies
-	ids := make([]string, 0, n)
-	for i := 0; i < n; i++ {
-		t0 := time.Now()
-		st, err := c.Submit(context.Background(), spec)
-		if err != nil {
-			return Entry{}, fmt.Errorf("perfbench: submit %d: %w", i, err)
-		}
-		lat.Observe(time.Since(t0))
-		ids = append(ids, st.ID)
+	spec := serve.JobSpec{
+		Cells: []serve.CellSpec{{Workload: "gcc", Policy: "dice", Refs: refs, Scale: 10}},
+	}
+	var (
+		lat      obs.Latencies
+		ids      = make([]string, n)
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+	)
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := client.New("http://"+addr.String(), int64(w))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				t0 := time.Now()
+				st, err := c.Submit(context.Background(), spec)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("perfbench: submit %d: %w", i, err))
+					return
+				}
+				lat.Observe(time.Since(t0))
+				ids[i] = st.ID
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Entry{}, nil, err
+	}
+
+	c := client.New("http://"+addr.String(), 1)
+	health, err := c.Health(context.Background())
+	if err != nil {
+		return Entry{}, nil, fmt.Errorf("perfbench: health: %w", err)
 	}
 	// Cancel the still-queued tail so shutdown drains in bounded time;
 	// cells already run (or running) are tiny either way.
 	for _, id := range ids {
-		c.Cancel(context.Background(), id)
+		if id != "" {
+			c.Cancel(context.Background(), id)
+		}
 	}
 
 	s := lat.Summary()
@@ -77,6 +150,63 @@ func measureSubmitLatency(n int) (Entry, error) {
 		P50Ns:      float64(s.P50.Nanoseconds()),
 		P99Ns:      float64(s.P99.Nanoseconds()),
 		P999Ns:     float64(s.P999.Nanoseconds()),
+	}
+	if e.NsPerRef > 0 {
+		e.RefsPerSec = 1e9 / e.NsPerRef
+	}
+	return e, health.Journal, nil
+}
+
+// commitLogPayload is the append payload for the raw commit-log
+// throughput entries: the size class of a typical journal record.
+var commitLogPayload = []byte(`{"t":"submit","id":"j1","seq":1,"spec":{"experiments":["fig10"],"refs":60000}}`)
+
+// measureCommitLogAppend measures raw commit-log append throughput:
+// `appenders` goroutines each durably appending perAppender records
+// to one log. At appenders=1 every append pays its own uncontended
+// fsync (the floor group commit cannot beat); at appenders=64 the
+// committer batches everything queued behind the in-flight sync, and
+// the appends/sec ratio over the 1-appender entry is the amortization
+// factor on this machine.
+func measureCommitLogAppend(appenders, perAppender int) (Entry, error) {
+	dir, err := os.MkdirTemp("", "perfbench-commitlog-*")
+	if err != nil {
+		return Entry{}, err
+	}
+	defer os.RemoveAll(dir)
+	l, _, err := commitlog.Open(filepath.Join(dir, "bench.log"), commitlog.Options{}, nil)
+	if err != nil {
+		return Entry{}, fmt.Errorf("perfbench: commitlog: %w", err)
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+	)
+	start := time.Now()
+	for w := 0; w < appenders; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perAppender; i++ {
+				if err := l.Append(commitLogPayload); err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("perfbench: commitlog append: %w", err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := l.Close(); err != nil {
+		return Entry{}, fmt.Errorf("perfbench: commitlog close: %w", err)
+	}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return Entry{}, err
+	}
+	total := appenders * perAppender
+	e := Entry{
+		NsPerRef:   float64(elapsed.Nanoseconds()) / float64(total),
+		Iterations: total,
 	}
 	if e.NsPerRef > 0 {
 		e.RefsPerSec = 1e9 / e.NsPerRef

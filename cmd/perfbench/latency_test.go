@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // TestSubmitLatencyEntry is the bench-smoke guard for the daemon/submit
 // latency axis: a reduced-sample measurement must produce a sane,
@@ -20,5 +23,64 @@ func TestSubmitLatencyEntry(t *testing.T) {
 	}
 	if e.NsPerRef <= 0 || e.RefsPerSec <= 0 {
 		t.Fatalf("mean/rate not positive: %+v", e)
+	}
+}
+
+// TestCommitLogAppendEntry is the plain-tier sanity check for the raw
+// commit-log throughput entries: both appender counts measure, and the
+// numbers are positive — not a performance assertion.
+func TestCommitLogAppendEntry(t *testing.T) {
+	for _, appenders := range []int{1, 64} {
+		e, err := measureCommitLogAppend(appenders, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Iterations != appenders*4 || e.NsPerRef <= 0 || e.RefsPerSec <= 0 {
+			t.Fatalf("appenders=%d: %+v", appenders, e)
+		}
+	}
+}
+
+// TestGroupCommitSubmitGuard is the bench-smoke regression guard for
+// the group-commit journal (DICE_SMOKE=1 gates the wall-clock
+// assertion out of plain `go test ./...`, PR 6 style): under
+// concurrent submission load on the same machine, the batched journal
+// must beat the fsync-per-append reference discipline at p99 by at
+// least the 1.05x smoke floor, and the journal counters must prove
+// the batching structurally — materially fewer syncs than appends,
+// with at least one multi-record batch — while the reference mode
+// pays exactly one sync per append.
+func TestGroupCommitSubmitGuard(t *testing.T) {
+	if os.Getenv("DICE_SMOKE") == "" {
+		t.Skip("set DICE_SMOKE=1 (make bench-smoke) to run the group-commit regression guard")
+	}
+	const n = 256
+	batched, bstats, err := measureSubmitLatencyWith(n, submitConcurrency, submitLinger, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, rstats, err := measureSubmitLatencyWith(n, submitConcurrency, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("batched:   p50 %.2fms p99 %.2fms (%d appends, %d syncs, max batch %d)",
+		batched.P50Ns/1e6, batched.P99Ns/1e6, bstats.Appends, bstats.Syncs, bstats.MaxBatchRecords)
+	t.Logf("reference: p50 %.2fms p99 %.2fms (%d appends, %d syncs)",
+		reference.P50Ns/1e6, reference.P99Ns/1e6, rstats.Appends, rstats.Syncs)
+
+	if bstats == nil || rstats == nil {
+		t.Fatal("journal stats missing from /healthz")
+	}
+	if rstats.Syncs != rstats.Appends {
+		t.Fatalf("reference mode must sync per append: %d syncs for %d appends", rstats.Syncs, rstats.Appends)
+	}
+	if bstats.Syncs*2 > bstats.Appends || bstats.MaxBatchRecords < 2 {
+		t.Fatalf("group commit did not batch: %d syncs for %d appends, max batch %d",
+			bstats.Syncs, bstats.Appends, bstats.MaxBatchRecords)
+	}
+	const floor = 1.05
+	if reference.P99Ns < batched.P99Ns*floor {
+		t.Fatalf("batched submit p99 %.2fms does not beat fsync-per-append p99 %.2fms by the %.2fx smoke floor",
+			batched.P99Ns/1e6, reference.P99Ns/1e6, floor)
 	}
 }

@@ -106,6 +106,26 @@ func main() {
 			b.name, e.NsPerRef, e.AllocsPerRef, e.RefsPerSec)
 	}
 
+	// Raw commit-log append throughput, 1 vs 64 concurrent appenders:
+	// the appends/sec ratio between the two is the fsync amortization
+	// factor group commit achieves on this machine.
+	for _, cl := range []struct {
+		name      string
+		appenders int
+		per       int
+	}{
+		{"commitlog/append-1", 1, 512},
+		{"commitlog/append-64", 64, 16},
+	} {
+		e, err := measureCommitLogAppend(cl.appenders, cl.per)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		entries[cl.name] = e
+		fmt.Printf("%-24s %12.1f ns/append %24.0f appends/sec\n", cl.name, e.NsPerRef, e.RefsPerSec)
+	}
+
 	sub, err := measureSubmitLatency(submitSamples)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -114,6 +134,18 @@ func main() {
 	entries["daemon/submit"] = sub
 	fmt.Printf("%-24s %12.1f ns/op  p50 %.0fns p99 %.0fns p999 %.0fns\n",
 		"daemon/submit", sub.NsPerRef, sub.P50Ns, sub.P99Ns, sub.P999Ns)
+
+	// The concurrent submit distribution — submitConcurrency clients in
+	// flight at once, the regime the journal's group commit batches.
+	subc, _, err := measureSubmitLatencyWith(submitSamples, submitConcurrency, submitLinger, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	name := fmt.Sprintf("daemon/submit-c%d", submitConcurrency)
+	entries[name] = subc
+	fmt.Printf("%-24s %12.1f ns/op  p50 %.0fns p99 %.0fns p999 %.0fns\n",
+		name, subc.NsPerRef, subc.P50Ns, subc.P99Ns, subc.P999Ns)
 
 	if *out == "" {
 		return

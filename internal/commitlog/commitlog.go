@@ -1,0 +1,447 @@
+// Package commitlog is the shared crash-safe append-only log under
+// the daemon job journal (internal/serve) and the sweep results log
+// (internal/dse): one CRC-32C framed JSON record per line, replayed
+// to the longest valid prefix with the torn tail truncated away.
+//
+// What it adds over the fsync-per-append logs it replaced is group
+// commit — the same amortization DICE applies to cache bandwidth
+// (batch small operations into one larger transfer), applied to
+// durability. Appenders do not sync the file themselves: they enqueue
+// a framed record and block on a commit ticket while a single
+// committer goroutine drains everything queued, issues ONE write and
+// ONE fsync for the whole batch, and then releases every ticket. N
+// concurrent appenders therefore pay ~1 fsync instead of N, and the
+// durability contract is unchanged: an acknowledged append has always
+// been fsynced (the ticket resolves only after the Sync covering its
+// record returns), and a failed sync fails every waiter in its batch
+// — no record is ever acknowledged off the back of a failed sync.
+//
+// File order equals enqueue order, so callers that need record A
+// durable-before-B in the file simply enqueue A before B (the
+// enqueue itself is cheap and non-blocking; only Wait blocks).
+//
+// After a sync failure the log is broken: the kernel may have dropped
+// the unwritten pages, so the tail state on disk is unknowable and
+// every later append fails fast with the original error rather than
+// pretending durability. Replay on the next open recovers the longest
+// valid prefix, exactly as after a crash.
+package commitlog
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// crcTable is the Castagnoli table shared by every framed line (the
+// same polynomial the compressed-line checksums use).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by appends issued after Close.
+var ErrClosed = errors.New("commitlog: log is closed")
+
+// Options are the group-commit tunables. The zero value is the
+// recommended configuration: commit as soon as the committer is free,
+// so a lone appender pays one uncontended fsync and concurrent
+// appenders batch naturally behind the sync in progress.
+type Options struct {
+	// MaxBatchBytes bounds how many framed bytes one commit batch may
+	// accumulate before the committer is forced to flush regardless of
+	// linger (default 1 MiB). Larger batches amortize further; the
+	// bound keeps a flood's commit units — and the write the kernel
+	// must sync — from growing without limit.
+	MaxBatchBytes int
+	// MaxLinger is how long the committer waits after the first
+	// enqueue of a batch for more appenders to join it (default 0:
+	// never wait — batching comes only from appends arriving while a
+	// sync is in flight, which keeps the uncontended append latency at
+	// exactly one fsync). A small positive linger trades that latency
+	// for bigger batches on bursty workloads.
+	MaxLinger time.Duration
+	// NoGroupCommit selects the pre-batching reference behavior: every
+	// append performs its own write+fsync under a mutex, exactly the
+	// fsync-per-append discipline this package replaced. It exists for
+	// A/B measurement (cmd/perfbench, the bench-smoke regression
+	// guard), not production use.
+	NoGroupCommit bool
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (o Options) withDefaults() Options {
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 1 << 20
+	}
+	return o
+}
+
+// syncFile is the slice of *os.File the committer needs; tests inject
+// failing implementations through newWithFile.
+type syncFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Stats are the log's monotone group-commit counters; see METRICS.md
+// "Commit-log counters".
+type Stats struct {
+	// Appends counts records durably acknowledged (ticket resolved nil).
+	Appends uint64 `json:"appends"`
+	// Syncs counts fsync calls issued. Appends/Syncs is the
+	// amortization factor group commit achieved.
+	Syncs uint64 `json:"syncs"`
+	// BytesWritten counts framed bytes durably written.
+	BytesWritten uint64 `json:"bytes_written"`
+	// MaxBatchRecords is the largest number of records one sync covered.
+	MaxBatchRecords int `json:"max_batch_records"`
+	// BatchHist is the committed-batch size distribution: bucket i
+	// counts batches of [2^i, 2^(i+1)) records (1, 2-3, 4-7, ... ,
+	// 128+ in the last bucket).
+	BatchHist [8]uint64 `json:"batch_hist"`
+}
+
+// observeBatch folds one committed batch into the counters.
+func (s *Stats) observeBatch(records, bytes int) {
+	s.Appends += uint64(records)
+	s.Syncs++
+	s.BytesWritten += uint64(bytes)
+	if records > s.MaxBatchRecords {
+		s.MaxBatchRecords = records
+	}
+	b := 0
+	for n := records; n > 1 && b < len(s.BatchHist)-1; n >>= 1 {
+		b++
+	}
+	s.BatchHist[b]++
+}
+
+// Ticket is one enqueued record's claim on a future commit. Wait
+// blocks until the sync covering the record returns and reports its
+// outcome. The zero Ticket is resolved-nil (used by no-op appends on
+// nil logs).
+type Ticket struct {
+	ch  chan error
+	err error
+}
+
+// Wait blocks until the record's commit batch has been synced,
+// returning nil only if the record is durable on disk.
+func (t Ticket) Wait() error {
+	if t.ch == nil {
+		return t.err
+	}
+	return <-t.ch
+}
+
+// Resolved returns an already-resolved Ticket carrying err. Callers
+// layering their own encoding above Enqueue use it to surface a
+// marshal failure through the same Ticket path as a real append.
+func Resolved(err error) Ticket { return Ticket{err: err} }
+
+// Log is the append handle. Safe for concurrent use.
+type Log struct {
+	opt Options
+
+	mu      sync.Mutex
+	f       syncFile
+	pending []byte       // framed records awaiting the next commit
+	spare   []byte       // recycled batch buffer
+	waiters []chan error // one per pending record, enqueue order
+	records int
+	closed  bool
+	broken  error // sticky first sync/write failure
+	stats   Stats
+
+	wake chan struct{} // buffered(1): pending work for the committer
+	full chan struct{} // buffered(1): MaxBatchBytes reached, stop lingering
+	quit chan struct{}
+	done chan struct{} // committer exited
+}
+
+// Replay summarizes what Open recovered from an existing file.
+type Replay struct {
+	// Records counts valid framed lines replayed.
+	Records int
+	// TruncatedBytes counts bytes dropped as a torn or corrupt tail
+	// (0 for a cleanly closed log).
+	TruncatedBytes int64
+}
+
+// Open opens (creating if absent) the log at path, replays its valid
+// prefix — calling apply once per CRC-valid payload, in file order —
+// truncates any torn tail, and returns the handle positioned for
+// appending. apply returns false to reject a payload it cannot
+// decode: the line and everything after it are treated as the torn
+// tail, mirroring a CRC mismatch. A nil apply accepts every valid
+// frame.
+func Open(path string, opt Options, apply func(payload []byte) bool) (*Log, Replay, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, Replay{}, fmt.Errorf("commitlog: %w", err)
+	}
+	rep, validLen, err := scan(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, Replay{}, err
+	}
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > validLen {
+		rep.TruncatedBytes = fi.Size() - validLen
+		if terr := f.Truncate(validLen); terr != nil {
+			f.Close()
+			return nil, Replay{}, fmt.Errorf("commitlog: truncating torn tail: %w", terr)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, Replay{}, fmt.Errorf("commitlog: %w", err)
+	}
+	return newWithFile(f, opt), rep, nil
+}
+
+// newWithFile builds a running Log over an already-positioned file;
+// the exported path in is Open, tests inject failing files here.
+func newWithFile(f syncFile, opt Options) *Log {
+	l := &Log{
+		f:    f,
+		opt:  opt.withDefaults(),
+		wake: make(chan struct{}, 1),
+		full: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	if !l.opt.NoGroupCommit {
+		l.done = make(chan struct{})
+		go l.commitLoop()
+	}
+	return l
+}
+
+// scan reads the file from the start, returning the replay summary
+// and the byte length of the valid prefix. Scanning stops — without
+// error — at the first line that is torn (no trailing newline),
+// CRC-mismatched, or rejected by apply.
+func scan(f *os.File, apply func([]byte) bool) (Replay, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return Replay{}, 0, fmt.Errorf("commitlog: %w", err)
+	}
+	var (
+		rep      Replay
+		validLen int64
+		r        = bufio.NewReaderSize(f, 1<<16)
+	)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break // a partial trailing line is a torn tail — drop it
+			}
+			return Replay{}, 0, fmt.Errorf("commitlog: %w", err)
+		}
+		payload, ok := ParseFrame(line[:len(line)-1])
+		if !ok {
+			break
+		}
+		if apply != nil && !apply(payload) {
+			break
+		}
+		validLen += int64(len(line))
+		rep.Records++
+	}
+	return rep, validLen, nil
+}
+
+// Frame wraps a JSON payload in the shared "crc8hex space json\n"
+// line framing (CRC-32C over the payload) used by the journal, the
+// results log, and the job stream wire format.
+func Frame(payload []byte) []byte {
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, crcTable))
+	line = append(line, payload...)
+	return append(line, '\n')
+}
+
+// ParseFrame validates one framed line (without its trailing newline)
+// and returns the payload; ok is false on any framing or checksum
+// violation — the reader's signal that the trusted prefix ends here.
+func ParseFrame(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Append frames payload, commits it with whatever batch-mates are
+// queued, and returns once the covering fsync has succeeded — the
+// blocking form of Enqueue followed by Wait.
+func (l *Log) Append(payload []byte) error {
+	return l.Enqueue(payload).Wait()
+}
+
+// Enqueue frames payload and stakes its place in file order, returning
+// a Ticket that resolves when the batch containing it has been synced.
+// Enqueue itself never blocks on I/O (NoGroupCommit mode excepted),
+// so callers may enqueue under locks that must not wait out an fsync
+// and Wait after releasing them.
+func (l *Log) Enqueue(payload []byte) Ticket {
+	line := Frame(payload)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return Ticket{err: ErrClosed}
+	}
+	if l.broken != nil {
+		err := l.broken
+		l.mu.Unlock()
+		return Ticket{err: err}
+	}
+	if l.opt.NoGroupCommit {
+		// Reference mode: the old discipline, one write+fsync per
+		// record under the lock.
+		var err error
+		if _, err = l.f.Write(line); err == nil {
+			err = l.f.Sync()
+		}
+		if err != nil {
+			l.broken = err
+		} else {
+			l.stats.observeBatch(1, len(line))
+		}
+		l.mu.Unlock()
+		return Ticket{err: err}
+	}
+	l.pending = append(l.pending, line...)
+	l.records++
+	ch := make(chan error, 1)
+	l.waiters = append(l.waiters, ch)
+	notifyFull := len(l.pending) >= l.opt.MaxBatchBytes
+	l.mu.Unlock()
+
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+	if notifyFull {
+		select {
+		case l.full <- struct{}{}:
+		default:
+		}
+	}
+	return Ticket{ch: ch}
+}
+
+// commitLoop is the committer goroutine: it sleeps until records are
+// pending, optionally lingers for batch-mates, then commits the whole
+// queue with one write and one fsync.
+func (l *Log) commitLoop() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.wake:
+		case <-l.quit:
+			l.commit() // drain whatever Close raced in
+			return
+		}
+		if l.opt.MaxLinger > 0 {
+			t := time.NewTimer(l.opt.MaxLinger)
+			select {
+			case <-t.C:
+			case <-l.full:
+			case <-l.quit:
+			}
+			t.Stop()
+		}
+		l.commit()
+	}
+}
+
+// commit takes the pending batch, writes and syncs it, and resolves
+// every ticket in it with the outcome. A write or sync failure marks
+// the log broken and fails the entire batch — durability is never
+// acknowledged past a failed sync.
+func (l *Log) commit() {
+	l.mu.Lock()
+	if l.records == 0 {
+		l.mu.Unlock()
+		return
+	}
+	batch, waiters, n := l.pending, l.waiters, l.records
+	l.pending, l.spare = l.spare[:0], batch
+	l.waiters = nil
+	l.records = 0
+	broken := l.broken
+	l.mu.Unlock()
+
+	err := broken
+	if err == nil {
+		if _, werr := l.f.Write(batch); werr != nil {
+			err = fmt.Errorf("commitlog: %w", werr)
+		} else if serr := l.f.Sync(); serr != nil {
+			err = fmt.Errorf("commitlog: sync: %w", serr)
+		}
+	}
+	l.mu.Lock()
+	if err != nil {
+		if l.broken == nil {
+			l.broken = err
+		}
+	} else {
+		l.stats.observeBatch(n, len(batch))
+	}
+	l.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// Stats snapshots the group-commit counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close drains the pending batch, stops the committer, syncs, and
+// closes the file. Both the sync and the close error are reported
+// (joined) — a failed sync no longer swallows the close outcome.
+// Closing twice is a no-op.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	broken := l.broken
+	l.mu.Unlock()
+
+	if l.done != nil {
+		close(l.quit)
+		<-l.done
+	}
+	var syncErr error
+	if broken == nil {
+		// The final defensive sync; the committer already synced every
+		// acknowledged record.
+		syncErr = l.f.Sync()
+		if syncErr != nil {
+			syncErr = fmt.Errorf("commitlog: sync: %w", syncErr)
+		}
+	}
+	closeErr := l.f.Close()
+	if closeErr != nil {
+		closeErr = fmt.Errorf("commitlog: close: %w", closeErr)
+	}
+	return errors.Join(syncErr, closeErr)
+}

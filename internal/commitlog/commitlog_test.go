@@ -1,0 +1,392 @@
+package commitlog
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect opens the log at path and returns the replayed payloads as
+// strings alongside the replay summary.
+func collect(t *testing.T, path string, opt Options) (*Log, []string, Replay) {
+	t.Helper()
+	var got []string
+	l, rep, err := Open(path, opt, func(payload []byte) bool {
+		got = append(got, string(payload))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got, rep
+}
+
+// Appended payloads replay intact, in file order, across close/reopen.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"a":1}`, `{"b":2}`, `{"c":3}`}
+	for _, p := range want {
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 3 {
+		t.Fatalf("Appends = %d, want 3", st.Appends)
+	}
+	if st.Syncs == 0 || st.Syncs > 3 {
+		t.Fatalf("Syncs = %d, want 1..3", st.Syncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, rep := collect(t, path, Options{})
+	defer l2.Close()
+	if rep.TruncatedBytes != 0 || rep.Records != 3 {
+		t.Fatalf("replay = %+v", rep)
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+}
+
+// A torn final line (SIGKILL mid-append) is dropped and physically
+// truncated; appends afterwards extend a valid file.
+func TestTornTailTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`deadbeef {"to`)
+	f.Close()
+
+	l2, got, rep := collect(t, path, Options{})
+	if rep.TruncatedBytes == 0 || rep.Records != 1 || len(got) != 1 {
+		t.Fatalf("torn replay = %+v, %v", rep, got)
+	}
+	if err := l2.Append([]byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, got3, rep3 := collect(t, path, Options{})
+	defer l3.Close()
+	if rep3.TruncatedBytes != 0 || len(got3) != 2 {
+		t.Fatalf("post-truncation replay = %+v, %v", rep3, got3)
+	}
+}
+
+// A CRC-corrupt line mid-file — or a CRC-valid payload the caller's
+// apply rejects — ends the trusted prefix.
+func TestCorruptAndRejectedLinesEndPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(fmt.Appendf(nil, `{"i":%d}`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	mid := []byte(lines[1])
+	mid[len(mid)/2] ^= 0x01
+	if err := os.WriteFile(path, []byte(lines[0]+string(mid)+lines[2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, rep := collect(t, path, Options{})
+	l2.Close()
+	if len(got) != 1 || rep.TruncatedBytes == 0 {
+		t.Fatalf("corrupt-middle replay kept %v (%+v)", got, rep)
+	}
+
+	// Rebuild a clean 3-record file, then reject the second payload
+	// from apply: same longest-valid-prefix outcome.
+	os.Remove(path)
+	l3, _, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l3.Append(fmt.Appendf(nil, `{"i":%d}`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l3.Close()
+	n := 0
+	l4, rep4, err := Open(path, Options{}, func(payload []byte) bool {
+		n++
+		return n < 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l4.Close()
+	if rep4.Records != 1 || rep4.TruncatedBytes == 0 {
+		t.Fatalf("apply-rejection replay = %+v", rep4)
+	}
+}
+
+// slowFile injects a fixed Sync latency so concurrent appends
+// provably pile into shared batches regardless of machine speed.
+type slowFile struct {
+	f     *os.File
+	delay time.Duration
+}
+
+func (s *slowFile) Write(p []byte) (int, error) { return s.f.Write(p) }
+func (s *slowFile) Sync() error {
+	time.Sleep(s.delay)
+	return s.f.Sync()
+}
+func (s *slowFile) Close() error { return s.f.Close() }
+
+// The group-commit bar: 64 concurrent appenders against a slow sync
+// must be acknowledged with far fewer syncs than appends, every
+// record durable and replayable, per-goroutine enqueue order
+// preserved in the file.
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newWithFile(&slowFile{f: f, delay: 2 * time.Millisecond}, Options{})
+	const workers, per = 64, 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append(fmt.Appendf(nil, `{"w":%d,"i":%d}`, w, i)); err != nil {
+					t.Errorf("append w%d i%d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Appends != workers*per {
+		t.Fatalf("Appends = %d, want %d", st.Appends, workers*per)
+	}
+	if st.Syncs >= st.Appends/2 {
+		t.Fatalf("group commit did not amortize: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	if st.MaxBatchRecords < 2 {
+		t.Fatalf("MaxBatchRecords = %d, want >= 2", st.MaxBatchRecords)
+	}
+	var hist uint64
+	for _, n := range st.BatchHist {
+		hist += n
+	}
+	if hist != st.Syncs {
+		t.Fatalf("batch histogram holds %d batches for %d syncs", hist, st.Syncs)
+	}
+
+	// Replay: all records present, each goroutine's order preserved.
+	seen := map[int]int{} // worker -> next expected i
+	_, rep, err := Open(path, Options{}, func(payload []byte) bool {
+		var w, i int
+		if _, err := fmt.Sscanf(string(payload), `{"w":%d,"i":%d}`, &w, &i); err != nil {
+			t.Fatalf("bad payload %q", payload)
+		}
+		if i != seen[w] {
+			t.Fatalf("worker %d record %d arrived out of order (want %d)", w, i, seen[w])
+		}
+		seen[w]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != workers*per || rep.TruncatedBytes != 0 {
+		t.Fatalf("replay = %+v", rep)
+	}
+}
+
+// failFile fails Sync from the Nth call on, and optionally fails
+// Close, to exercise the no-false-acks and joined-error contracts.
+type failFile struct {
+	mu        sync.Mutex
+	syncs     int
+	failFrom  int // 1-based sync call index that starts failing (0 = never)
+	failClose bool
+}
+
+var errSyncBroken = errors.New("injected sync failure")
+var errCloseBroken = errors.New("injected close failure")
+
+func (f *failFile) Write(p []byte) (int, error) { return len(p), nil }
+func (f *failFile) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	if f.failFrom > 0 && f.syncs >= f.failFrom {
+		return errSyncBroken
+	}
+	return nil
+}
+func (f *failFile) Close() error {
+	if f.failClose {
+		return errCloseBroken
+	}
+	return nil
+}
+
+// A failed sync must fail every waiter in its batch — durability is
+// never acknowledged off the back of a failed fsync — and the log
+// goes sticky-broken so later appends fail fast.
+func TestSyncFailureFailsWholeBatch(t *testing.T) {
+	ff := &failFile{failFrom: 1}
+	l := newWithFile(ff, Options{})
+	const n = 16
+	// Enqueue the whole batch before any Wait: with the committer
+	// blocked behind the enqueues' wake signal, all n records land in
+	// one or few batches, every one of which must fail.
+	tickets := make([]Ticket, n)
+	for i := range tickets {
+		tickets[i] = l.Enqueue(fmt.Appendf(nil, `{"i":%d}`, i))
+	}
+	for i, tk := range tickets {
+		if err := tk.Wait(); !errors.Is(err, errSyncBroken) {
+			t.Fatalf("waiter %d: %v, want injected sync failure", i, err)
+		}
+	}
+	if err := l.Append([]byte(`{"late":1}`)); !errors.Is(err, errSyncBroken) {
+		t.Fatalf("append after sync failure: %v, want fail-fast with the original error", err)
+	}
+	if st := l.Stats(); st.Appends != 0 {
+		t.Fatalf("%d appends acknowledged past a failed sync", st.Appends)
+	}
+	l.Close()
+}
+
+// Close must report BOTH a failed sync and a failed close, joined —
+// the close error used to be discarded.
+func TestCloseJoinsSyncAndCloseErrors(t *testing.T) {
+	l := newWithFile(&failFile{failFrom: 1, failClose: true}, Options{})
+	err := l.Close()
+	if !errors.Is(err, errSyncBroken) {
+		t.Fatalf("Close() = %v, want the sync error reported", err)
+	}
+	if !errors.Is(err, errCloseBroken) {
+		t.Fatalf("Close() = %v, want the close error reported too", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close() = %v, want nil no-op", err)
+	}
+}
+
+// NoGroupCommit is the reference discipline: one sync per append.
+func TestNoGroupCommitSyncsEveryAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{NoGroupCommit: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(fmt.Appendf(nil, `{"i":%d}`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 5 || st.Syncs != 5 || st.MaxBatchRecords != 1 {
+		t.Fatalf("reference mode stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got, rep := collect(t, path, Options{})
+	if len(got) != 5 || rep.TruncatedBytes != 0 {
+		t.Fatalf("replay = %v, %+v", got, rep)
+	}
+}
+
+// MaxLinger holds the committer for batch-mates: two enqueues inside
+// the window share one sync.
+func TestLingerGathersBatchMates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{MaxLinger: 50 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := l.Enqueue([]byte(`{"a":1}`))
+	t2 := l.Enqueue([]byte(`{"b":2}`))
+	if err := t1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Appends != 2 || st.Syncs > 2 {
+		t.Fatalf("linger stats = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Appends racing Close either complete durably or fail with ErrClosed
+// — never hang, never get a false ack.
+func TestCloseDrainsPendingBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, _, err := Open(path, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tickets := make([]Ticket, 8)
+	for i := range tickets {
+		tickets[i] = l.Enqueue(fmt.Appendf(nil, `{"i":%d}`, i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	for i, tk := range tickets {
+		err := tk.Wait()
+		if err == nil {
+			acked++
+		} else if !errors.Is(err, ErrClosed) {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	_, got, _ := collect(t, path, Options{})
+	if len(got) != acked {
+		t.Fatalf("%d records on disk, %d acknowledged", len(got), acked)
+	}
+	if err := l.Append([]byte(`{"late":1}`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}

@@ -1,37 +1,31 @@
 package dse
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
-	"sync"
 
+	"dice/internal/commitlog"
 	"dice/internal/serve"
 )
 
 // The results log is the sweep's checkpoint: one completed cell per
 // line, appended the moment the cell finishes, in the same
 // crash-tolerant format as the daemon journal — "crc8hex space json",
-// CRC-32C over the payload, fsync per append. Replay accepts the
-// longest valid prefix and truncates the rest, so a sweep killed
-// mid-append (or a daemon shard that died after delivering half a
-// batch) leaves a log that -resume can trust: every replayed cell ran
-// to completion, and every missing cell re-runs. Duplicate keys —
-// possible when a retried batch re-delivers cells — replay first-wins;
-// determinism makes the duplicates byte-identical anyway.
+// CRC-32C over the payload. Durability rides internal/commitlog's
+// group commit: concurrent shard pollers enqueue cells and share one
+// write+fsync per batch, and an acknowledged append has still always
+// been synced. Replay accepts the longest valid prefix and truncates
+// the rest, so a sweep killed mid-append (or a daemon shard that died
+// after delivering half a batch) leaves a log that -resume can trust:
+// every replayed cell ran to completion, and every missing cell
+// re-runs. Duplicate keys — possible when a retried batch re-delivers
+// cells — replay first-wins; determinism makes the duplicates
+// byte-identical anyway.
 
-// logCRC is the Castagnoli table shared by every results-log line.
-var logCRC = crc32.MakeTable(crc32.Castagnoli)
-
-// ResultLog is the append handle for a sweep's results log. Safe for
-// concurrent use: each append is one write + fsync under the lock.
+// ResultLog is the append handle for a sweep's results log, over the
+// shared commit log. Safe for concurrent use.
 type ResultLog struct {
-	mu sync.Mutex
-	f  *os.File
+	log *commitlog.Log
 }
 
 // LogReplay is what an existing results log parses back into.
@@ -45,88 +39,41 @@ type LogReplay struct {
 	TruncatedBytes int64
 }
 
-// OpenResultLog opens (creating if absent) the results log at path,
-// replays its valid prefix, truncates any torn tail, and returns the
-// handle positioned for appending plus the replayed results.
+// OpenResultLog opens the results log at path with default
+// group-commit options; see OpenResultLogWith.
 func OpenResultLog(path string) (*ResultLog, *LogReplay, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("dse: results log: %w", err)
-	}
-	rep, validLen, err := replayResults(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
-		rep.TruncatedBytes = fi.Size() - validLen
-		if err := f.Truncate(validLen); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("dse: results log: truncating torn tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("dse: results log: %w", err)
-	}
-	return &ResultLog{f: f}, rep, nil
+	return OpenResultLogWith(path, commitlog.Options{})
 }
 
-// replayResults scans the log from the start, returning the replayed
-// results and the byte length of the valid prefix. Scanning stops —
-// without error — at the first line that is torn (no trailing
-// newline), malformed, or CRC-mismatched.
-func replayResults(f *os.File) (*LogReplay, int64, error) {
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, 0, fmt.Errorf("dse: results log: %w", err)
-	}
+// OpenResultLogWith opens (creating if absent) the results log at
+// path, replays its valid prefix, truncates any torn tail, and
+// returns the handle positioned for appending plus the replayed
+// results. opt carries the group-commit tunables (dicesweep's
+// -log-linger / -log-batch-bytes flags).
+func OpenResultLogWith(path string, opt commitlog.Options) (*ResultLog, *LogReplay, error) {
 	rep := &LogReplay{Results: map[string]serve.CellResult{}}
-	var validLen int64
-	r := bufio.NewReaderSize(f, 1<<16)
-	for {
-		line, err := r.ReadBytes('\n')
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break // a partial trailing line is a torn tail — drop it
-			}
-			return nil, 0, fmt.Errorf("dse: results log: %w", err)
+	l, crep, err := commitlog.Open(path, opt, func(payload []byte) bool {
+		var res serve.CellResult
+		if err := json.Unmarshal(payload, &res); err != nil || res.Key == "" {
+			return false
 		}
-		res, ok := parseResultLine(line[:len(line)-1])
-		if !ok {
-			break
-		}
-		validLen += int64(len(line))
 		rep.Cells++
 		if _, dup := rep.Results[res.Key]; !dup {
 			rep.Results[res.Key] = res
 		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dse: results log: %w", err)
 	}
-	return rep, validLen, nil
+	rep.TruncatedBytes = crep.TruncatedBytes
+	return &ResultLog{log: l}, rep, nil
 }
 
-// parseResultLine validates one "crc8hex space json" line.
-func parseResultLine(line []byte) (serve.CellResult, bool) {
-	if len(line) < 10 || line[8] != ' ' {
-		return serve.CellResult{}, false
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
-		return serve.CellResult{}, false
-	}
-	payload := line[9:]
-	if crc32.Checksum(payload, logCRC) != want {
-		return serve.CellResult{}, false
-	}
-	var res serve.CellResult
-	if err := json.Unmarshal(payload, &res); err != nil || res.Key == "" {
-		return serve.CellResult{}, false
-	}
-	return res, true
-}
-
-// Append checkpoints one completed cell: marshal, CRC, write, fsync.
-// An acknowledged append survives power loss. A nil log (dry runs)
-// is a no-op.
+// Append checkpoints one completed cell, returning once the sync
+// covering it has succeeded — batched with whatever other cells are
+// in flight. An acknowledged append survives power loss. A nil log
+// (dry runs) is a no-op.
 func (l *ResultLog) Append(res serve.CellResult) error {
 	if l == nil {
 		return nil
@@ -135,28 +82,30 @@ func (l *ResultLog) Append(res serve.CellResult) error {
 	if err != nil {
 		return fmt.Errorf("dse: results log: %w", err)
 	}
-	line := fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, logCRC), payload)
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, err := l.f.WriteString(line); err != nil {
-		return fmt.Errorf("dse: results log: %w", err)
-	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.log.Append(payload); err != nil {
 		return fmt.Errorf("dse: results log: %w", err)
 	}
 	return nil
 }
 
-// Close syncs and closes the log file. A nil log is a no-op.
+// Stats snapshots the log's group-commit counters; nil for a nil log.
+func (l *ResultLog) Stats() *commitlog.Stats {
+	if l == nil {
+		return nil
+	}
+	st := l.log.Stats()
+	return &st
+}
+
+// Close drains pending appends, syncs, and closes the log file,
+// reporting both the sync and close outcomes (errors.Join). A nil log
+// is a no-op.
 func (l *ResultLog) Close() error {
 	if l == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
+	if err := l.log.Close(); err != nil {
 		return fmt.Errorf("dse: results log: %w", err)
 	}
-	return l.f.Close()
+	return nil
 }

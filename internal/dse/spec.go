@@ -244,6 +244,10 @@ func (s *Spec) assign(key string, vals []string) error {
 	case "mlp":
 		return assignInts(&s.MLPs, key, vals, 1)
 	case "scale":
+		vals, err := expandRanges(key, vals)
+		if err != nil {
+			return err
+		}
 		for _, v := range vals {
 			n, err := strconv.ParseUint(v, 10, 8)
 			if err != nil {
@@ -295,8 +299,13 @@ func assignEnum(dst *[]string, key string, vals []string, check func(string) err
 	return nil
 }
 
-// assignInts appends integer axis values, each at least min.
+// assignInts appends integer axis values — enumerated or lo..hi
+// ranges — each at least min.
 func assignInts(dst *[]int, key string, vals []string, min int) error {
+	vals, err := expandRanges(key, vals)
+	if err != nil {
+		return err
+	}
 	for _, v := range vals {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < min {
@@ -305,4 +314,59 @@ func assignInts(dst *[]int, key string, vals []string, min int) error {
 		*dst = append(*dst, n)
 	}
 	return nil
+}
+
+// maxRangeValues bounds what one lo..hi range may expand to; a typo
+// like "0..1000000" should be an error, not a million-cell axis.
+const maxRangeValues = 4096
+
+// expandRanges rewrites numeric range tokens on an integer axis into
+// the values they enumerate: "lo..hi" denotes every integer from lo
+// to hi inclusive, and "lo..hi step N" strides by N (the last value
+// is the largest lo+k*N <= hi). Ranges expand before validation, so
+// they are pure spec-file shorthand — a spec written with a range and
+// one written with the enumerated values produce identical axes and
+// therefore identical canonical cell keys (memoization, results-log
+// dedup and -resume are unaffected). Non-range tokens pass through
+// untouched; "step" is only meaningful directly after a range.
+func expandRanges(key string, vals []string) ([]string, error) {
+	out := make([]string, 0, len(vals))
+	for i := 0; i < len(vals); i++ {
+		v := vals[i]
+		if v == "step" {
+			return nil, fmt.Errorf("%s: \"step\" must directly follow a lo..hi range", key)
+		}
+		if !strings.Contains(v, "..") {
+			out = append(out, v)
+			continue
+		}
+		loStr, hiStr, _ := strings.Cut(v, "..")
+		lo, loErr := strconv.Atoi(loStr)
+		hi, hiErr := strconv.Atoi(hiStr)
+		if loErr != nil || hiErr != nil {
+			return nil, fmt.Errorf("%s: want lo..hi with integer bounds, got %q", key, v)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("%s: range %q is empty (lo > hi)", key, v)
+		}
+		step := 1
+		if i+1 < len(vals) && vals[i+1] == "step" {
+			if i+2 >= len(vals) {
+				return nil, fmt.Errorf("%s: range %q: \"step\" needs a value", key, v)
+			}
+			n, err := strconv.Atoi(vals[i+2])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("%s: range %q: step wants a positive integer, got %q", key, v, vals[i+2])
+			}
+			step = n
+			i += 2
+		}
+		if (hi-lo)/step+1 > maxRangeValues {
+			return nil, fmt.Errorf("%s: range %q expands to more than %d values", key, v, maxRangeValues)
+		}
+		for n := lo; n <= hi; n += step {
+			out = append(out, strconv.Itoa(n))
+		}
+	}
+	return out, nil
 }

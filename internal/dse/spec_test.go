@@ -30,6 +30,13 @@ func TestParseErrors(t *testing.T) {
 		{"multi-value refs", "workload = gcc\nrefs = 100 200\n", "takes one value"},
 		{"negative threshold", "workload = gcc\nthreshold = -1\n", "integer >= 0"},
 		{"zero capacity", "workload = gcc\ncapacity = 0\n", "integer >= 1"},
+		{"range bad bounds", "workload = gcc\nthreshold = 24..x\n", "integer bounds"},
+		{"range empty", "workload = gcc\nthreshold = 48..24\n", "lo > hi"},
+		{"range zero step", "workload = gcc\nthreshold = 24..48 step 0\n", "positive integer"},
+		{"range missing step value", "workload = gcc\nthreshold = 24..48 step\n", "needs a value"},
+		{"stray step", "workload = gcc\nmlp = 4 step 2\n", "must directly follow"},
+		{"range too wide", "workload = gcc\nthreshold = 0..1000000\n", "more than"},
+		{"range below axis min", "workload = gcc\ncapacity = 0..4\n", "integer >= 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -83,6 +90,71 @@ func TestParseSuiteKeywords(t *testing.T) {
 	}
 	if spec.Workloads[0] != "pr_twi" {
 		t.Fatalf("explicit name lost its first-seen position: %v", spec.Workloads)
+	}
+}
+
+// Golden range expansions: "lo..hi [step N]" is pure shorthand for
+// the enumerated values, on every integer axis, mixable with plain
+// values on the same line.
+func TestParseRangeExpansion(t *testing.T) {
+	spec, err := Parse(strings.NewReader(`
+workload = gcc
+threshold = 24..48 step 4
+capacity = 1..3
+bw = 2 4..6 16
+mlp = 1..8 step 3
+scale = 8..12 step 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intsEq := func(name string, got []int, want ...int) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s expanded to %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s expanded to %v, want %v", name, got, want)
+			}
+		}
+	}
+	intsEq("threshold", spec.Thresholds, 24, 28, 32, 36, 40, 44, 48)
+	intsEq("capacity", spec.Capacities, 1, 2, 3)
+	intsEq("bw", spec.BWs, 2, 4, 5, 6, 16)
+	intsEq("mlp", spec.MLPs, 1, 4, 7) // last value is the largest lo+k*N <= hi
+	if len(spec.Scales) != 3 || spec.Scales[0] != 8 || spec.Scales[2] != 12 {
+		t.Fatalf("scale expanded to %v, want [8 10 12]", spec.Scales)
+	}
+}
+
+// A range spec and its enumerated equivalent expand to identical
+// cells — same canonical keys, so memoization, results-log dedup and
+// -resume treat them as the same sweep.
+func TestParseRangeKeysMatchEnumerated(t *testing.T) {
+	ranged, err := Parse(strings.NewReader("workload = gcc\npolicy = dice\nthreshold = 24..48 step 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed, err := Parse(strings.NewReader("workload = gcc\npolicy = dice\nthreshold = 24 32 40 48\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ranged.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := listed.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rc) != len(lc) {
+		t.Fatalf("ranged expands to %d cells, enumerated to %d", len(rc), len(lc))
+	}
+	for i := range rc {
+		if rc[i].Key() != lc[i].Key() {
+			t.Fatalf("cell %d key diverges: %q vs %q", i, rc[i].Key(), lc[i].Key())
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"dice/internal/commitlog"
 	"dice/internal/obs"
 )
 
@@ -40,6 +41,18 @@ type Config struct {
 	// JournalPath is the crash-safe job journal ("" = no persistence:
 	// jobs live only in memory and a restart forgets them).
 	JournalPath string
+	// JournalBatchBytes bounds one journal group-commit batch (default
+	// 1 MiB; see commitlog.Options.MaxBatchBytes).
+	JournalBatchBytes int
+	// JournalLinger is how long the journal committer waits for
+	// batch-mates after the first enqueue of a batch (default 0: commit
+	// immediately; batching comes from appends arriving while a sync is
+	// in flight — see commitlog.Options.MaxLinger).
+	JournalLinger time.Duration
+	// JournalNoGroupCommit selects the reference fsync-per-append
+	// journal discipline. For A/B measurement (perfbench, bench-smoke),
+	// not production use.
+	JournalNoGroupCommit bool
 	// QueueCap bounds the number of queued-but-not-started jobs
 	// (default 64). Submissions beyond it fail with ErrQueueFull —
 	// the explicit backpressure signal — rather than growing memory.
@@ -205,7 +218,11 @@ func New(cfg Config) (*Daemon, *Replay, error) {
 		err     error
 	)
 	if cfg.JournalPath != "" {
-		journal, rep, err = OpenJournal(cfg.JournalPath)
+		journal, rep, err = OpenJournalWith(cfg.JournalPath, commitlog.Options{
+			MaxBatchBytes: cfg.JournalBatchBytes,
+			MaxLinger:     cfg.JournalLinger,
+			NoGroupCommit: cfg.JournalNoGroupCommit,
+		})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -320,20 +337,33 @@ func (d *Daemon) Submit(spec JobSpec) (JobStatus, error) {
 	d.jobs[id] = jb
 	d.order = append(d.order, id)
 	d.stats.submitted++
-	// Journal while holding the lock so a job's submit record always
-	// precedes its start record (the worker can only see the job
-	// after the enqueue below).
-	if err := d.journal.append(record{T: "submit", ID: id, Seq: seq, Spec: &spec}); err != nil {
+	// Enqueue the journal record while holding the lock — that stakes
+	// the record's place in journal file order, so a job's submit
+	// record always precedes its start record (the worker can only see
+	// the job after the queue send below). The fsync itself is awaited
+	// AFTER unlocking: holding d.mu across the sync would serialize
+	// concurrent submits and defeat group commit.
+	ticket := d.journal.enqueue(record{T: "submit", ID: id, Seq: seq, Spec: &spec})
+	st := jb.status
+	d.mu.Unlock()
+
+	if err := ticket.Wait(); err != nil {
 		// Admission without a durable record would break the restart
-		// contract; undo and surface the error.
+		// contract; undo and surface the error. The job was transiently
+		// visible to Status while the sync was in flight — harmless, it
+		// never reached a worker.
+		d.mu.Lock()
 		delete(d.jobs, id)
-		d.order = d.order[:len(d.order)-1]
+		for i := len(d.order) - 1; i >= 0; i-- {
+			if d.order[i] == id {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
 		d.depth--
 		d.mu.Unlock()
 		return JobStatus{}, err
 	}
-	st := jb.status
-	d.mu.Unlock()
 
 	d.queue <- jb // never blocks: depth reservation <= channel capacity
 	d.cfg.Logf("serve: %s submitted (%v)", id, spec.Experiments)
@@ -530,14 +560,16 @@ func (d *Daemon) Cancel(id string) (JobStatus, error) {
 		d.stats.cancelled++
 		rec := record{T: "finish", ID: id, State: StateCancelled, Error: jb.status.Error}
 		st := jb.status
-		// Journal under the lock: the finish must precede any later
-		// record for this id.
-		if err := d.journal.append(rec); err != nil {
-			d.cfg.Logf("serve: %s: journal cancel failed: %v", id, err)
-		}
+		// Enqueue under the lock: the finish must precede any later
+		// record for this id in journal file order. The sync is awaited
+		// after unlocking.
+		ticket := d.journal.enqueue(rec)
 		d.retainLocked(jb)
 		prog := jb.prog
 		d.mu.Unlock()
+		if err := ticket.Wait(); err != nil {
+			d.cfg.Logf("serve: %s: journal cancel failed: %v", id, err)
+		}
 		if prog != nil {
 			prog.finish(StateCancelled, st.Error)
 		}
@@ -885,6 +917,10 @@ type Health struct {
 	Self obs.SelfStatus `json:"self"`
 	// Stats carries the daemon's job and queue counters.
 	Stats Stats `json:"stats"`
+	// Journal carries the journal's group-commit counters (see
+	// METRICS.md "Commit-log counters"); omitted when the daemon runs
+	// without persistence.
+	Journal *commitlog.Stats `json:"journal,omitempty"`
 }
 
 func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -894,6 +930,7 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Draining: d.Draining(),
 		Self:     obs.CaptureSelfStatus(),
 		Stats:    d.Stats(),
+		Journal:  d.journal.Stats(),
 	})
 }
 

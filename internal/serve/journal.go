@@ -1,34 +1,30 @@
 package serve
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
-	"os"
 	"sort"
-	"sync"
+
+	"dice/internal/commitlog"
 )
 
 // The journal is the daemon's crash-safety backbone: an append-only
 // file of one JSON record per line, each prefixed with its CRC-32C
-// (the same Castagnoli polynomial the compressed-line checksums use),
-// fsynced per append. Every job writes at most three records —
-// submit (with the full spec), start, finish (with the final state
-// and output) — so the file replays into the exact job table at the
-// moment of the crash: a submit without a finish is a job the crash
-// interrupted, and the daemon re-enqueues it in sequence order.
+// (the same Castagnoli polynomial the compressed-line checksums use).
+// Every job writes at most three records — submit (with the full
+// spec), start, finish (with the final state and output) — so the
+// file replays into the exact job table at the moment of the crash: a
+// submit without a finish is a job the crash interrupted, and the
+// daemon re-enqueues it in sequence order.
 //
-// Torn writes are expected (SIGKILL can land mid-append): replay
-// accepts the longest valid prefix — records parse, CRCs match, the
-// line is newline-terminated — and truncates the rest before the
-// daemon appends again. A mismatched CRC therefore never poisons the
-// file; it just marks where the crash cut it.
-
-// crcTable is the Castagnoli table shared by every journal record.
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+// Durability and framing live in internal/commitlog, which group-
+// commits appends: concurrent submits enqueue records and share one
+// write+fsync, so N simultaneous submits pay ~1 sync instead of N. An
+// acknowledged record has still always been fsynced, and torn writes
+// are still expected (SIGKILL can land mid-append): replay accepts
+// the longest valid prefix and truncates the rest before the daemon
+// appends again. A mismatched CRC therefore never poisons the file;
+// it just marks where the crash cut it.
 
 // record is one journal line. T is "submit", "start", or "finish";
 // the other fields are populated per type (Spec on submit; State,
@@ -43,13 +39,12 @@ type record struct {
 	Error  string   `json:"error,omitempty"`
 }
 
-// Journal is the append handle. Safe for concurrent use; each append
-// is one write + fsync under the lock, so records never interleave
-// and an acknowledged record survives power loss.
+// Journal is the append handle over the shared commit log. Safe for
+// concurrent use; file order equals enqueue order, so a caller that
+// enqueues a submit record before a start record gets them in that
+// order on disk.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	log *commitlog.Log
 }
 
 // Replay is what a journal file parses back into: the job table in
@@ -91,64 +86,34 @@ type ReplayJob struct {
 // Unfinished reports whether the job needs re-running after a restart.
 func (rj ReplayJob) Unfinished() bool { return !rj.Finished }
 
-// OpenJournal opens (creating if absent) the journal at path, replays
-// its valid prefix, truncates any torn tail, and returns the handle
-// positioned for appending plus the replayed job table.
+// OpenJournal opens the journal at path with default group-commit
+// options; see OpenJournalWith.
 func OpenJournal(path string) (*Journal, *Replay, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: journal: %w", err)
-	}
-	rep, validLen, err := replayFrom(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
-		rep.TruncatedBytes = fi.Size() - validLen
-		if err := f.Truncate(validLen); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("serve: journal: truncating torn tail: %w", err)
-		}
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("serve: journal: %w", err)
-	}
-	return &Journal{f: f, path: path}, rep, nil
+	return OpenJournalWith(path, commitlog.Options{})
 }
 
-// replayFrom scans the journal from the start, returning the
-// reconstructed job table and the byte length of the valid prefix.
-// Scanning stops — without error — at the first record that is torn
-// (no trailing newline), malformed, or CRC-mismatched; everything
-// before it is trusted.
-func replayFrom(f *os.File) (*Replay, int64, error) {
-	if _, err := f.Seek(0, 0); err != nil {
-		return nil, 0, fmt.Errorf("serve: journal: %w", err)
-	}
+// OpenJournalWith opens (creating if absent) the journal at path,
+// replays its valid prefix, truncates any torn tail, and returns the
+// handle positioned for appending plus the replayed job table. opt
+// carries the group-commit tunables (Config.JournalBatchBytes etc.).
+func OpenJournalWith(path string, opt commitlog.Options) (*Journal, *Replay, error) {
 	var (
-		validLen int64
-		jobs     []*ReplayJob
-		byID     = map[string]*ReplayJob{}
-		rep      = &Replay{NextSeq: 1}
-		r        = bufio.NewReaderSize(f, 1<<16)
+		jobs []*ReplayJob
+		byID = map[string]*ReplayJob{}
+		rep  = &Replay{NextSeq: 1}
 	)
-	for {
-		line, err := r.ReadBytes('\n')
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break // a partial trailing line is a torn tail — drop it
-			}
-			return nil, 0, fmt.Errorf("serve: journal: %w", err)
+	l, crep, err := commitlog.Open(path, opt, func(payload []byte) bool {
+		var rec record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return false
 		}
-		rec, ok := parseLine(line[:len(line)-1])
-		if !ok {
-			break
-		}
-		validLen += int64(len(line))
 		jobs = applyRecord(rep, jobs, byID, rec)
+		return true
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: journal: %w", err)
 	}
+	rep.TruncatedBytes = crep.TruncatedBytes
 	// Order by sequence for deterministic re-enqueue (records are
 	// already appended in order; the sort makes it an invariant).
 	sort.Slice(jobs, func(i, j int) bool { return jobs[i].Seq < jobs[j].Seq })
@@ -156,21 +121,7 @@ func replayFrom(f *os.File) (*Replay, int64, error) {
 	for i, j := range jobs {
 		rep.Jobs[i] = *j
 	}
-	return rep, validLen, nil
-}
-
-// parseLine validates one "crc8hex space json" line (framing shared
-// with the stream wire format — see stream.go's parseFrame).
-func parseLine(line []byte) (record, bool) {
-	payload, ok := parseFrame(line)
-	if !ok {
-		return record{}, false
-	}
-	var rec record
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return record{}, false
-	}
-	return rec, true
+	return &Journal{log: l}, rep, nil
 }
 
 // applyRecord folds one valid record into the replay state. Records
@@ -205,38 +156,46 @@ func applyRecord(rep *Replay, jobs []*ReplayJob, byID map[string]*ReplayJob, rec
 	return jobs
 }
 
-// append journals one record: marshal, CRC, write, fsync. A nil
-// journal (daemon running without persistence) is a no-op.
-func (j *Journal) append(rec record) error {
+// enqueue stakes one record's place in journal file order and returns
+// its commit ticket; the caller Waits after releasing any locks the
+// fsync must not be held under. A nil journal (daemon running without
+// persistence) returns a resolved no-op ticket.
+func (j *Journal) enqueue(rec record) commitlog.Ticket {
 	if j == nil {
-		return nil
+		return commitlog.Ticket{}
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("serve: journal: %w", err)
+		return commitlog.Resolved(fmt.Errorf("serve: journal: %w", err))
 	}
-	line := frameLine(payload)
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if _, err := j.f.Write(line); err != nil {
-		return fmt.Errorf("serve: journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("serve: journal: %w", err)
-	}
-	return nil
+	return j.log.Enqueue(payload)
 }
 
-// Close syncs and closes the journal file. A nil journal is a no-op.
+// append journals one record and blocks until it is durable (enqueue
+// + wait). A nil journal is a no-op.
+func (j *Journal) append(rec record) error {
+	return j.enqueue(rec).Wait()
+}
+
+// Stats snapshots the journal's group-commit counters; nil for a
+// daemon running without persistence.
+func (j *Journal) Stats() *commitlog.Stats {
+	if j == nil {
+		return nil
+	}
+	st := j.log.Stats()
+	return &st
+}
+
+// Close drains pending appends, syncs, and closes the journal file,
+// reporting both the sync and close outcomes (errors.Join). A nil
+// journal is a no-op.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err := j.f.Sync(); err != nil {
-		j.f.Close()
+	if err := j.log.Close(); err != nil {
 		return fmt.Errorf("serve: journal: %w", err)
 	}
-	return j.f.Close()
+	return nil
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve_test
+
+// raceEnabled reports whether this test binary carries the race
+// detector; see soak_race_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package serve_test
+
+// raceEnabled reports whether this test binary carries the race
+// detector, which multiplies the soak flood's cost roughly tenfold
+// (every channel and mutex operation across thousands of client
+// goroutines is instrumented) and caps the scale it can reach in
+// bounded wall-clock.
+const raceEnabled = true

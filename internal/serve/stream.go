@@ -3,12 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dice/internal/commitlog"
 	"dice/internal/obs"
 )
 
@@ -107,26 +107,16 @@ func DecodeStreamLine(line []byte) (StreamEvent, bool) {
 }
 
 // frameLine wraps a JSON payload in the shared "crc8hex space json\n"
-// framing (CRC-32C, same discipline as the journal and results log).
+// framing (CRC-32C, same discipline as the journal and results log —
+// the canonical implementation lives in internal/commitlog).
 func frameLine(payload []byte) []byte {
-	return []byte(fmt.Sprintf("%08x %s\n", crc32.Checksum(payload, crcTable), payload))
+	return commitlog.Frame(payload)
 }
 
 // parseFrame validates the "crc8hex space json" framing and returns
 // the payload; ok is false on any framing or checksum violation.
 func parseFrame(line []byte) ([]byte, bool) {
-	if len(line) < 10 || line[8] != ' ' {
-		return nil, false
-	}
-	var want uint32
-	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &want); err != nil {
-		return nil, false
-	}
-	payload := line[9:]
-	if crc32.Checksum(payload, crcTable) != want {
-		return nil, false
-	}
-	return payload, true
+	return commitlog.ParseFrame(line)
 }
 
 // genCounter disambiguates generation tokens minted within one clock

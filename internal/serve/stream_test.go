@@ -81,10 +81,10 @@ func TestStreamWireFormat(t *testing.T) {
 	for _, bad := range [][]byte{
 		nil,
 		[]byte("short"),
-		line[:len(line)/2],                      // torn mid-frame
+		line[:len(line)/2],                       // torn mid-frame
 		append([]byte("00000000 "), line[9:]...), // CRC mismatch
-		[]byte("zzzzzzzz " + `{"kind":"cell"}`), // non-hex CRC
-		frameLine([]byte(`{"not":"an event"}`)), // valid frame, no kind
+		[]byte("zzzzzzzz " + `{"kind":"cell"}`),  // non-hex CRC
+		frameLine([]byte(`{"not":"an event"}`)),  // valid frame, no kind
 	} {
 		if _, ok := DecodeStreamLine(bad); ok {
 			t.Errorf("DecodeStreamLine accepted invalid line %q", bad)
